@@ -1,0 +1,12 @@
+"""Bench: regenerate Tables V/VI (dataset statistics)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_table5_table6_dataset_stats(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "table5_6", scale=scale,
+                      verbose=False)
+    print("\n" + result.format_table())
+    assert len(result.rows) >= 10

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table IV (fine-tuning complexity, measured)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_table4_finetune_complexity(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "table4", scale=scale,
+                      verbose=False)
+    print("\n" + result.format_table())
+    times = {row["strategy"]: row["seconds/epoch"] for row in result.rows}
+    # Paper Table IV shape: EIE-GRU carries the largest overhead.
+    assert times["eie-gru"] > times["full"]

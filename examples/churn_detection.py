@@ -1,0 +1,58 @@
+"""Dynamic churn / dropout detection — node classification downstream.
+
+The MOOC-style scenario of paper Table IX: students interact with course
+units; some accumulate "strain" from hard units and drop out.  The task is
+to flag at-risk students *at interaction time* from their dynamic
+embedding.  We pre-train CPDG on unlabeled early history (labels are never
+used during pre-training) and fine-tune a classifier on the later,
+labelled portion, comparing the three DGNN backbones with and without
+CPDG pre-training.
+
+Run:  python examples/churn_detection.py
+"""
+
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.datasets import (DatasetScale, labeled_stream,
+                            node_classification_split)
+from repro.tasks import (FineTuneConfig, NodeClassificationTask,
+                         build_finetuned_encoder)
+
+
+def main() -> None:
+    stream = labeled_stream("mooc", DatasetScale(num_users=70, num_items=40,
+                                                 events_labeled=1800))
+    print(f"stream: {stream.num_events} events, "
+          f"positive rate {stream.metadata['positive_rate']:.1%}, "
+          f"{stream.metadata['flipped_users']} students drop out")
+
+    # Paper §V-A: 6:2:1:1 chronological split.
+    pretrain_stream, downstream = node_classification_split(stream)
+    print(f"pre-train {pretrain_stream.num_events} / "
+          f"train {downstream.train.num_events} / "
+          f"val {downstream.val.num_events} / "
+          f"test {downstream.test.num_events}\n")
+
+    config = CPDGConfig(eta=8, epsilon=8, depth=2, epochs=3, batch_size=150,
+                        memory_dim=32, embed_dim=32, num_checkpoints=10,
+                        seed=0)
+    finetune = FineTuneConfig(epochs=5, batch_size=150, patience=3, seed=0)
+
+    print(f"{'backbone':8s} {'scratch AUC':>12s} {'CPDG AUC':>12s} {'gain':>8s}")
+    for backbone in ("jodie", "dyrep", "tgn"):
+        scratch = build_finetuned_encoder(backbone, stream.num_nodes, config,
+                                          None, "none", finetune)
+        base = NodeClassificationTask(scratch, downstream, finetune).run()
+
+        trainer = CPDGPreTrainer.from_backbone(backbone, stream.num_nodes,
+                                               config)
+        pretrained = trainer.pretrain(pretrain_stream)
+        enhanced = build_finetuned_encoder(backbone, stream.num_nodes, config,
+                                           pretrained, "eie-gru", finetune)
+        cpdg = NodeClassificationTask(enhanced, downstream, finetune).run()
+
+        gain = (cpdg.auc - base.auc) / base.auc
+        print(f"{backbone:8s} {base.auc:12.4f} {cpdg.auc:12.4f} {gain:+8.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: pre-train CPDG on a dynamic graph and fine-tune downstream.
+
+Walks the complete workflow of the paper's Figure 1 in ~30 seconds:
+
+1. generate a dynamic interaction graph (the Meituan-like stream),
+2. split it chronologically: 60% pre-training / 40% downstream,
+3. pre-train a TGN encoder with CPDG's structural-temporal contrastive
+   objectives (Algorithm 1),
+4. fine-tune on downstream link prediction with EIE-GRU enhancement,
+5. compare against the same encoder trained from scratch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.datasets import DatasetScale, meituan_stream, split_downstream
+from repro.tasks import (FineTuneConfig, LinkPredictionTask,
+                         build_finetuned_encoder)
+
+
+def main() -> None:
+    # 1. Data: a bursty user-item interaction stream (42 "days").
+    stream = meituan_stream(DatasetScale(num_users=60, num_items=40,
+                                         events_main=1500))
+    print(f"stream: {stream.num_events} events, {stream.num_nodes} nodes, "
+          f"{stream.timespan:.1f} time units")
+
+    # 2. Chronological transfer split (paper §V-A: 6:4 on Meituan).
+    pretrain_stream, rest = stream.split_fraction([0.6, 0.4])
+    downstream = split_downstream(rest)
+    print(f"pre-train on {pretrain_stream.num_events} events; fine-tune on "
+          f"{downstream.train.num_events} train / {downstream.val.num_events} "
+          f"val / {downstream.test.num_events} test")
+
+    # 3. CPDG pre-training (paper defaults scaled to the small graph).
+    config = CPDGConfig(eta=8, epsilon=8, depth=2, beta=0.5, epochs=3,
+                        batch_size=150, memory_dim=32, embed_dim=32,
+                        num_checkpoints=10, seed=0)
+    trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, config)
+    result = trainer.pretrain(pretrain_stream, verbose=True)
+    l_eta, l_eps, l_tlp = result.final_losses
+    print(f"pre-trained: L_eta={l_eta:.4f} L_eps={l_eps:.4f} "
+          f"L_tlp={l_tlp:.4f}, {len(result.checkpoints)} memory checkpoints")
+
+    # 4. Fine-tune with evolution-information-enhanced (EIE-GRU) strategy.
+    finetune = FineTuneConfig(epochs=4, batch_size=150, patience=2, seed=0)
+    cpdg_strategy = build_finetuned_encoder("tgn", stream.num_nodes, config,
+                                            result, "eie-gru", finetune)
+    cpdg_metrics = LinkPredictionTask(cpdg_strategy, downstream,
+                                      finetune).run(verbose=True)
+
+    # 5. Control arm: no pre-training.
+    scratch = build_finetuned_encoder("tgn", stream.num_nodes, config, None,
+                                      "none", finetune)
+    scratch_metrics = LinkPredictionTask(scratch, downstream, finetune).run()
+
+    print("\n=== downstream dynamic link prediction ===")
+    print(f"  from scratch : AUC={scratch_metrics.auc:.4f} "
+          f"AP={scratch_metrics.ap:.4f}")
+    print(f"  CPDG+EIE-GRU : AUC={cpdg_metrics.auc:.4f} "
+          f"AP={cpdg_metrics.ap:.4f}")
+    gain = (cpdg_metrics.auc - scratch_metrics.auc) / scratch_metrics.auc
+    print(f"  AUC gain     : {gain:+.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Run every experiment at default scale, saving formatted tables."""
+import json
+import time
+import traceback
+
+from repro.experiments import run_experiment
+
+ORDER = ["table5_6", "table4", "table8", "table11", "figure6", "figure8",
+         "figure7", "figure5", "table10", "table9", "table7"]
+
+for name in ORDER:
+    t0 = time.time()
+    try:
+        result = run_experiment(name, scale="default", verbose=False)
+        out = result.format_table()
+        elapsed = time.time() - t0
+        with open(f"/root/repo/results/{name}.txt", "w") as fh:
+            fh.write(out + f"\n\n[elapsed: {elapsed:.1f}s]\n")
+        print(f"DONE {name} in {elapsed:.1f}s", flush=True)
+    except Exception as exc:
+        print(f"FAIL {name}: {exc}", flush=True)
+        traceback.print_exc()

@@ -1,0 +1,10 @@
+"""Re-run label-dependent experiments after the deviant-rotation change."""
+import time
+from repro.experiments import run_experiment
+
+for name in ["figure8", "table9", "figure5"]:
+    t0 = time.time()
+    result = run_experiment(name, scale="default", verbose=False)
+    with open(f"/root/repo/results/{name}.txt", "w") as fh:
+        fh.write(result.format_table() + f"\n\n[elapsed: {time.time()-t0:.1f}s]\n")
+    print(f"DONE {name} in {time.time()-t0:.1f}s", flush=True)

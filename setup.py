@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the classic ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,20 @@
+"""CPDG reproduction: Contrastive Pre-Training for Dynamic Graph Neural Networks.
+
+Reproduces Bei et al., *CPDG: A Contrastive Pre-Training Method for Dynamic
+Graph Neural Networks* (ICDE 2024) end-to-end on a pure-numpy substrate:
+
+* :mod:`repro.nn` — autograd + neural layers (PyTorch substitute),
+* :mod:`repro.graph` — continuous-time dynamic graph storage and queries,
+* :mod:`repro.datasets` — seeded synthetic counterparts of the paper's six
+  datasets plus time/field/time+field transfer splits,
+* :mod:`repro.dgnn` — the memory-based DGNN framework with TGN / JODIE /
+  DyRep encoders,
+* :mod:`repro.core` — the CPDG contribution (samplers, contrasts, EIE),
+* :mod:`repro.baselines` — static and dynamic comparison methods,
+* :mod:`repro.tasks` — downstream trainers and metrics,
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,93 @@
+"""Command-line entry point: run experiments and dataset diagnostics.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table7 --scale tiny
+    python -m repro run figure6 --scale default --out results/figure6.txt
+    python -m repro profile meituan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets import (LABELED_DATASETS, MEDIUM, amazon_universe,
+                       gowalla_universe, labeled_stream, meituan_stream)
+from .experiments import EXPERIMENTS, run_experiment
+from .graph import temporal_profile
+
+_PROFILABLE = ("meituan",) + LABELED_DATASETS + (
+    "amazon:beauty", "amazon:luxury", "amazon:arts",
+    "gowalla:entertainment", "gowalla:outdoors", "gowalla:food")
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in sorted(EXPERIMENTS.items()):
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale,
+                            verbose=not args.quiet)
+    table = result.format_table()
+    print(table)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+        print(f"\nwritten to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    name = args.dataset
+    if name == "meituan":
+        stream = meituan_stream(MEDIUM)
+    elif name in LABELED_DATASETS:
+        stream = labeled_stream(name, MEDIUM)
+    elif ":" in name:
+        universe_name, field = name.split(":", 1)
+        universe = (amazon_universe(MEDIUM) if universe_name == "amazon"
+                    else gowalla_universe(MEDIUM))
+        stream = universe.stream(field)
+    else:
+        print(f"unknown dataset {name!r}; choose from {_PROFILABLE}",
+              file=sys.stderr)
+        return 2
+    profile = temporal_profile(stream)
+    print(f"=== temporal profile: {name} ===")
+    for key, value in profile.as_row().items():
+        print(f"  {key:14s} {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CPDG reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", default="tiny",
+                            choices=("tiny", "default", "full"))
+    run_parser.add_argument("--out", default=None,
+                            help="also write the table to this file")
+    run_parser.add_argument("--quiet", action="store_true")
+
+    profile_parser = sub.add_parser("profile",
+                                    help="print a dataset's temporal profile")
+    profile_parser.add_argument("dataset",
+                                help=f"one of {', '.join(_PROFILABLE)}")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "profile": _cmd_profile}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

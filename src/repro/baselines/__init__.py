@@ -1,0 +1,30 @@
+"""Comparison methods of paper §V-B.
+
+Static (GraphSAGE, GAT, GIN, DGI, GPT-GNN) and dynamic (DyRep, JODIE, TGN
+via :mod:`repro.dgnn`; DDGCL, SelfRGNN here) baselines, each paired with
+its pre-training loop through :data:`BASELINES`.
+"""
+
+from .ddgcl import DDGCLCritic, DDGCLEncoder, ddgcl_loss
+from .dgi import DGIDiscriminator, dgi_loss
+from .gat import GATEncoder
+from .gin import GINEncoder
+from .gptgnn import GPTGNNHeads, gptgnn_loss
+from .graphsage import GraphSAGEEncoder
+from .pretrain import (BaselinePretrainConfig, pretrain_ddgcl, pretrain_dgi,
+                       pretrain_dynamic_link_prediction, pretrain_gptgnn,
+                       pretrain_selfrgnn, pretrain_static_link_prediction)
+from .registry import BASELINES, BaselineSpec, baseline_names, build_baseline
+from .selfrgnn import SelfRGNNEncoder, selfrgnn_loss
+from .static_base import StaticEncoderBase
+
+__all__ = [
+    "StaticEncoderBase", "GraphSAGEEncoder", "GATEncoder", "GINEncoder",
+    "DGIDiscriminator", "dgi_loss", "GPTGNNHeads", "gptgnn_loss",
+    "DDGCLEncoder", "DDGCLCritic", "ddgcl_loss",
+    "SelfRGNNEncoder", "selfrgnn_loss",
+    "BaselinePretrainConfig", "pretrain_static_link_prediction",
+    "pretrain_dynamic_link_prediction", "pretrain_dgi", "pretrain_gptgnn",
+    "pretrain_ddgcl", "pretrain_selfrgnn",
+    "BaselineSpec", "BASELINES", "baseline_names", "build_baseline",
+]

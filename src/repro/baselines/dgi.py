@@ -1,0 +1,45 @@
+"""DGI baseline (Velickovic et al., 2019; paper §V-B).
+
+Deep Graph Infomax: maximise mutual information between local node
+representations and a global graph summary.  The encoder is a GraphSAGE
+tower; corruption shuffles which node each representation belongs to; the
+discriminator is bilinear: ``D(h, s) = σ(h^T W s)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.losses import jsd_mutual_information_loss
+from ..nn.module import Module, Parameter
+from .graphsage import GraphSAGEEncoder
+
+__all__ = ["DGIDiscriminator", "dgi_loss"]
+
+
+class DGIDiscriminator(Module):
+    """Bilinear local-global discriminator of DGI."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(rng.normal(0.0, 0.1, size=(dim, dim)))
+
+    def forward(self, local: Tensor, summary: Tensor) -> Tensor:
+        """Scores ``h_i^T W s`` for each row of ``local``."""
+        projected = summary @ self.weight          # (D,)
+        return (local * projected).sum(axis=-1)
+
+
+def dgi_loss(encoder: GraphSAGEEncoder, discriminator: DGIDiscriminator,
+             nodes: np.ndarray, ts: np.ndarray,
+             rng: np.random.Generator) -> Tensor:
+    """One DGI step: positive = true embeddings, negative = permuted ids."""
+    local = encoder.compute_embedding(nodes, ts)
+    summary = F.sigmoid(local.mean(axis=0))
+    corrupted_nodes = rng.permutation(nodes)
+    corrupted = encoder.compute_embedding(corrupted_nodes, ts)
+    pos_scores = discriminator(local, summary)
+    neg_scores = discriminator(corrupted, summary)
+    return jsd_mutual_information_loss(pos_scores, neg_scores)

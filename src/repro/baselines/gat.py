@@ -1,0 +1,52 @@
+"""GAT baseline (Velickovic et al., 2018; paper §V-B).
+
+Single-head additive attention over observed neighbours per layer:
+``α_uv ∝ exp(LeakyReLU(a^T [W h_u ∥ W h_v]))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.layers import Linear
+from ..nn.module import Parameter
+from .static_base import StaticEncoderBase
+
+_NEG_INF = -1e9
+
+__all__ = ["GATEncoder"]
+
+
+class GATEncoder(StaticEncoderBase):
+    """Two-layer graph attention network over time-observed neighbours."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                 n_neighbors: int = 10, n_layers: int = 2):
+        super().__init__(num_nodes, embed_dim, n_neighbors, n_layers, rng)
+        self.transforms = [Linear(embed_dim, embed_dim, rng, bias=False)
+                           for _ in range(n_layers)]
+        self.attn_self = [Parameter(rng.normal(0, 0.1, size=embed_dim))
+                          for _ in range(n_layers)]
+        self.attn_neigh = [Parameter(rng.normal(0, 0.1, size=embed_dim))
+                           for _ in range(n_layers)]
+
+    def combine(self, center: Tensor, neighbors: Tensor, mask: np.ndarray,
+                layer: int, ts: np.ndarray) -> Tensor:
+        idx = layer - 1
+        batch, n_neigh = neighbors.shape[0], neighbors.shape[1]
+        w_center = self.transforms[idx](center)                      # (B, D)
+        w_neigh = self.transforms[idx](
+            neighbors.reshape(batch * n_neigh, -1)).reshape(batch, n_neigh, -1)
+        score_self = (w_center * self.attn_self[idx]).sum(axis=-1)   # (B,)
+        score_neigh = (w_neigh * self.attn_neigh[idx]).sum(axis=-1)  # (B, N)
+        scores = F.leaky_relu(score_neigh + score_self.reshape(batch, 1))
+        # Fully-padded rows keep slot 0 so softmax stays finite.
+        mask = mask.copy()
+        all_padded = mask.all(axis=1)
+        mask[all_padded, 0] = False
+        scores = scores + Tensor(np.where(mask, _NEG_INF, 0.0))
+        alpha = F.softmax(scores, axis=-1)
+        pooled = (w_neigh * alpha.reshape(batch, n_neigh, 1)).sum(axis=1)
+        return F.relu(pooled + w_center)

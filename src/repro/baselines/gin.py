@@ -1,0 +1,34 @@
+"""GIN baseline (Xu et al., 2019; paper §V-B).
+
+Sum aggregation with a learnable self-weight:
+``h' = MLP((1 + ε) h + Σ_u h_u)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.autograd import Tensor
+from ..nn.layers import MLP
+from ..nn.module import Parameter
+from .static_base import StaticEncoderBase
+
+__all__ = ["GINEncoder"]
+
+
+class GINEncoder(StaticEncoderBase):
+    """Two-layer Graph Isomorphism Network over time-observed neighbours."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                 n_neighbors: int = 10, n_layers: int = 2):
+        super().__init__(num_nodes, embed_dim, n_neighbors, n_layers, rng)
+        self.mlps = [MLP([embed_dim, embed_dim, embed_dim], rng)
+                     for _ in range(n_layers)]
+        self.eps = [Parameter(np.zeros(1)) for _ in range(n_layers)]
+
+    def combine(self, center: Tensor, neighbors: Tensor, mask: np.ndarray,
+                layer: int, ts: np.ndarray) -> Tensor:
+        idx = layer - 1
+        summed = self.masked_sum(neighbors, mask)
+        scaled_center = center * (self.eps[idx] + 1.0)
+        return self.mlps[idx](scaled_center + summed)

@@ -1,0 +1,33 @@
+"""GraphSAGE baseline (Hamilton et al., 2017; paper §V-B).
+
+Mean-aggregator variant: ``h' = ReLU(W [h ∥ mean(h_neighbors)])``, with
+link prediction as its pre-training task (paper's setup for the
+task-supervised static models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.layers import Linear
+from .static_base import StaticEncoderBase
+
+__all__ = ["GraphSAGEEncoder"]
+
+
+class GraphSAGEEncoder(StaticEncoderBase):
+    """Two-layer mean-aggregation GraphSAGE over time-observed neighbours."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                 n_neighbors: int = 10, n_layers: int = 2):
+        super().__init__(num_nodes, embed_dim, n_neighbors, n_layers, rng)
+        self.weights = [Linear(2 * embed_dim, embed_dim, rng)
+                        for _ in range(n_layers)]
+
+    def combine(self, center: Tensor, neighbors: Tensor, mask: np.ndarray,
+                layer: int, ts: np.ndarray) -> Tensor:
+        pooled = self.masked_mean(neighbors, mask)
+        merged = self.weights[layer - 1](F.concatenate([center, pooled], axis=-1))
+        return F.relu(merged)

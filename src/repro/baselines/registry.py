@@ -1,0 +1,120 @@
+"""Baseline method registry used by the experiment runners.
+
+Each :class:`BaselineSpec` couples an encoder factory with the matching
+pre-training loop, so Table VII's method zoo is a data-driven sweep:
+
+========== ================================ =======================
+name       category                          pre-training objective
+========== ================================ =======================
+graphsage  task-supervised static            link prediction
+gin        task-supervised static            link prediction
+gat        task-supervised static            link prediction
+dgi        self-supervised static            local-global MI
+gpt-gnn    self-supervised static            generative
+dyrep      task-supervised dynamic           temporal link prediction
+jodie      task-supervised dynamic           temporal link prediction
+tgn        task-supervised dynamic           temporal link prediction
+ddgcl      self-supervised dynamic           two-view contrast
+selfrgnn   self-supervised dynamic           curvature self-contrast
+========== ================================ =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..dgnn.encoder import make_encoder
+from ..graph.events import EventStream
+from .ddgcl import DDGCLEncoder
+from .gat import GATEncoder
+from .gin import GINEncoder
+from .graphsage import GraphSAGEEncoder
+from .pretrain import (BaselinePretrainConfig, pretrain_ddgcl, pretrain_dgi,
+                       pretrain_dynamic_link_prediction, pretrain_gptgnn,
+                       pretrain_selfrgnn, pretrain_static_link_prediction)
+from .selfrgnn import SelfRGNNEncoder
+
+__all__ = ["BaselineSpec", "BASELINES", "build_baseline", "baseline_names"]
+
+
+@dataclass
+class BaselineSpec:
+    """One comparison method: encoder factory + pre-training loop."""
+
+    name: str
+    category: str
+    build: Callable  # (num_nodes, embed_dim, rng, **kwargs) -> encoder
+    pretrain: Callable  # (encoder, stream, BaselinePretrainConfig) -> list[float]
+    is_dynamic: bool
+
+
+def _build_static(cls):
+    def factory(num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                n_neighbors: int = 10, **_):
+        return cls(num_nodes, embed_dim, rng, n_neighbors=n_neighbors)
+    return factory
+
+
+def _build_dgnn(backbone: str):
+    def factory(num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                n_neighbors: int = 10, memory_dim: int | None = None,
+                time_dim: int = 8, edge_dim: int = 4, delta_scale: float = 1.0, **_):
+        return make_encoder(backbone, num_nodes, rng,
+                            memory_dim=memory_dim or embed_dim,
+                            embed_dim=embed_dim, time_dim=time_dim,
+                            edge_dim=edge_dim, n_neighbors=n_neighbors,
+                            delta_scale=delta_scale)
+    return factory
+
+
+def _build_ddgcl(num_nodes: int, embed_dim: int, rng: np.random.Generator,
+                 n_neighbors: int = 10, time_dim: int = 8, **_):
+    return DDGCLEncoder(num_nodes, embed_dim, rng, time_dim=time_dim,
+                        n_neighbors=n_neighbors)
+
+
+BASELINES: dict[str, BaselineSpec] = {
+    "graphsage": BaselineSpec("graphsage", "task-supervised static",
+                              _build_static(GraphSAGEEncoder),
+                              pretrain_static_link_prediction, False),
+    "gin": BaselineSpec("gin", "task-supervised static",
+                        _build_static(GINEncoder),
+                        pretrain_static_link_prediction, False),
+    "gat": BaselineSpec("gat", "task-supervised static",
+                        _build_static(GATEncoder),
+                        pretrain_static_link_prediction, False),
+    "dgi": BaselineSpec("dgi", "self-supervised static",
+                        _build_static(GraphSAGEEncoder), pretrain_dgi, False),
+    "gpt-gnn": BaselineSpec("gpt-gnn", "self-supervised static",
+                            _build_static(GraphSAGEEncoder), pretrain_gptgnn,
+                            False),
+    "dyrep": BaselineSpec("dyrep", "task-supervised dynamic",
+                          _build_dgnn("dyrep"),
+                          pretrain_dynamic_link_prediction, True),
+    "jodie": BaselineSpec("jodie", "task-supervised dynamic",
+                          _build_dgnn("jodie"),
+                          pretrain_dynamic_link_prediction, True),
+    "tgn": BaselineSpec("tgn", "task-supervised dynamic",
+                        _build_dgnn("tgn"),
+                        pretrain_dynamic_link_prediction, True),
+    "ddgcl": BaselineSpec("ddgcl", "self-supervised dynamic",
+                          _build_ddgcl, pretrain_ddgcl, True),
+    "selfrgnn": BaselineSpec("selfrgnn", "self-supervised dynamic",
+                             _build_static(SelfRGNNEncoder),
+                             pretrain_selfrgnn, True),
+}
+
+
+def baseline_names() -> list[str]:
+    return list(BASELINES)
+
+
+def build_baseline(name: str, num_nodes: int, embed_dim: int,
+                   rng: np.random.Generator, **kwargs):
+    """Instantiate a baseline encoder by registry name."""
+    if name not in BASELINES:
+        raise KeyError(f"unknown baseline {name!r}; have {sorted(BASELINES)}")
+    return BASELINES[name].build(num_nodes, embed_dim, rng, **kwargs)

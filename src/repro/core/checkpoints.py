@@ -1,0 +1,62 @@
+"""Memory checkpoint scheduling for EIE (paper §IV-C, Eq. 18).
+
+During pre-training CPDG stores ``L`` uniformly spaced snapshots
+``[S^1, …, S^L]`` of the DGNN memory.  :class:`CheckpointSchedule` decides
+*when* to snapshot given the total number of optimisation steps, and
+:class:`MemoryCheckpoints` holds the snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CheckpointSchedule", "MemoryCheckpoints"]
+
+
+class CheckpointSchedule:
+    """Uniform snapshot points over ``total_steps`` training steps.
+
+    The last checkpoint always falls on the final step so ``S^L`` reflects
+    the fully pre-trained memory.
+    """
+
+    def __init__(self, total_steps: int, num_checkpoints: int):
+        if total_steps < 1:
+            raise ValueError("total_steps must be positive")
+        count = min(num_checkpoints, total_steps)
+        points = np.linspace(total_steps / count, total_steps, count)
+        self.steps = sorted(set(int(round(p)) for p in points))
+
+    def should_checkpoint(self, step: int) -> bool:
+        """``step`` is 1-based (after the step completes)."""
+        return step in self._step_set
+
+    @property
+    def _step_set(self) -> set[int]:
+        return set(self.steps)
+
+
+class MemoryCheckpoints:
+    """The sequence ``[S^1, …, S^L]`` of raw memory snapshots."""
+
+    def __init__(self):
+        self._snapshots: list[np.ndarray] = []
+
+    def add(self, state: np.ndarray) -> None:
+        self._snapshots.append(np.array(state, copy=True))
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._snapshots[index]
+
+    def as_list(self) -> list[np.ndarray]:
+        return list(self._snapshots)
+
+    def truncate(self, length: int) -> "MemoryCheckpoints":
+        """Keep the last ``length`` snapshots (for the Figure 8 L-sweep)."""
+        out = MemoryCheckpoints()
+        for snap in self._snapshots[-length:]:
+            out.add(snap)
+        return out

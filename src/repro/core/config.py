@@ -1,0 +1,71 @@
+"""CPDG hyper-parameter configuration.
+
+Defaults follow the paper's main-result setup (§V-D): η = ε = 10, k = 2,
+L = 10 checkpoints, β balancing temporal vs structural contrast, triplet
+margin α, temperature τ.  Experiments on the scaled-down synthetic graphs
+override the width/epochs for speed; sweeps (Figures 6–8) vary β, η/ε, k
+and L exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CPDGConfig"]
+
+
+@dataclass
+class CPDGConfig:
+    """All knobs of CPDG pre-training (paper §IV, Algorithm 1)."""
+
+    # Sampler (paper §IV-A)
+    eta: int = 10
+    epsilon: int = 10
+    depth: int = 2
+    tau: float = 0.2
+    precompute_samplers: bool = True
+
+    # Contrastive objectives (paper §IV-B)
+    beta: float = 0.5
+    margin: float = 1.0
+    use_temporal_contrast: bool = True
+    use_structural_contrast: bool = True
+    readout: str = "mean"          # "mean" (paper) | "max" | "sum"
+    objective: str = "triplet"     # "triplet" (paper) | "infonce"
+
+    # EIE checkpointing (paper §IV-C)
+    num_checkpoints: int = 10
+
+    # Optimisation
+    epochs: int = 3
+    batch_size: int = 200
+    learning_rate: float = 1e-3
+    grad_clip: float = 5.0
+
+    # Encoder dims
+    memory_dim: int = 32
+    embed_dim: int = 32
+    time_dim: int = 8
+    edge_dim: int = 4
+    n_neighbors: int = 10
+    n_layers: int = 1
+
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "CPDGConfig":
+        """Functional update, used heavily by the sweep experiments."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if self.readout not in ("mean", "max", "sum"):
+            raise ValueError(f"unknown readout {self.readout!r}")
+        if self.objective not in ("triplet", "infonce"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.eta < 1 or self.epsilon < 1 or self.depth < 1:
+            raise ValueError("eta, epsilon and depth must be positive")
+        if self.num_checkpoints < 1:
+            raise ValueError("need at least one checkpoint")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")

@@ -1,0 +1,154 @@
+"""Structural-temporal contrastive objectives (paper §IV-B).
+
+Both contrasts share one mechanic: pool the *memory states* of a sampled
+subgraph into a vector with a readout (mean pooling, Eq. 9/10/12/13) and
+apply a triplet margin loss against the centre node's embedding
+(Eq. 11/14).
+
+* :class:`TemporalContrast` — positive = chronological η-BFS subgraph,
+  negative = reverse-chronological η-BFS subgraph of the *same* node;
+  captures short-term fluctuating patterns.
+* :class:`StructuralContrast` — positive = the node's own ε-DFS subgraph,
+  negative = the ε-DFS subgraph of a random *other* node (instance
+  discrimination); captures discriminative structural patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.losses import info_nce_loss, triplet_margin_loss
+from .samplers import EpsilonDFSSampler, EtaBFSSampler
+
+__all__ = ["subgraph_readout", "TemporalContrast", "StructuralContrast",
+           "READOUTS", "OBJECTIVES"]
+
+READOUTS = ("mean", "max", "sum")
+OBJECTIVES = ("triplet", "infonce")
+
+
+def subgraph_readout(memory: Tensor, subgraphs: list[np.ndarray],
+                     mode: str = "mean") -> Tensor:
+    """Pool memory rows per subgraph (paper Eq. 9/10/12/13).
+
+    The paper uses mean pooling "for simplicity"; ``max`` and ``sum`` are
+    the alternatives Eq. 9 alludes to ("min, max, and weighted pooling")
+    and are compared in the ablation bench.  ``subgraphs`` is one node-id
+    array per batch row; empty subgraphs pool to the zero vector (new
+    nodes with no history).
+    """
+    if mode not in READOUTS:
+        raise ValueError(f"unknown readout {mode!r}; expected {READOUTS}")
+    rows = [sub for sub in subgraphs if len(sub)]
+    if not rows:
+        return Tensor(np.zeros((len(subgraphs), memory.shape[-1])))
+    if mode == "mean":
+        flat = np.concatenate(rows)
+        groups = np.concatenate([
+            np.full(len(sub), row, dtype=np.int64)
+            for row, sub in enumerate(subgraphs) if len(sub)
+        ])
+        states = F.embedding_lookup(memory, flat)
+        return F.scatter_mean(states, groups, len(subgraphs))
+    # max/sum pool row by row (subgraphs are small: <= width^depth nodes).
+    pooled = []
+    zero = Tensor(np.zeros((1, memory.shape[-1])))
+    for sub in subgraphs:
+        if len(sub) == 0:
+            pooled.append(zero)
+            continue
+        states = F.embedding_lookup(memory, sub)
+        if mode == "max":
+            pooled.append(states.max(axis=0, keepdims=True))
+        else:
+            pooled.append(states.sum(axis=0, keepdims=True))
+    return F.concatenate(pooled, axis=0) if len(pooled) > 1 else pooled[0]
+
+
+def _contrast_objective(objective: str, anchor: Tensor, positive: Tensor,
+                        negative: Tensor, margin: float) -> Tensor:
+    """Triplet margin (paper Eq. 11/14) or in-batch InfoNCE (extension)."""
+    if objective == "triplet":
+        return triplet_margin_loss(anchor, positive, negative, margin)
+    if objective == "infonce":
+        batch = negative.shape[0]
+        # Every row's negative readout serves as an in-batch negative for
+        # every anchor: negatives[i, k] = negative[k].
+        negatives = F.stack([negative] * batch, axis=0)
+        return info_nce_loss(anchor, positive, negatives)
+    raise ValueError(f"unknown objective {objective!r}; expected {OBJECTIVES}")
+
+
+class TemporalContrast:
+    """Temporal contrast ``L_η`` (paper Eq. 11).
+
+    ``readout`` and ``objective`` select the pooling and the contrast
+    loss; the paper's configuration is ``("mean", "triplet")``.
+    """
+
+    def __init__(self, finder, eta: int, depth: int, tau: float = 0.2,
+                 margin: float = 1.0, seed: int = 0, readout: str = "mean",
+                 objective: str = "triplet"):
+        self.positive_sampler = EtaBFSSampler(
+            finder, eta, depth, probability="chronological", tau=tau, seed=seed)
+        self.negative_sampler = EtaBFSSampler(
+            finder, eta, depth, probability="reverse", tau=tau, seed=seed + 1)
+        self.margin = margin
+        self.readout = readout
+        self.objective = objective
+
+    def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray
+                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Draw ``(TP_i^t, TN_i^t)`` for each batch row."""
+        positives = [self.positive_sampler.sample(int(n), float(t))
+                     for n, t in zip(nodes, ts)]
+        negatives = [self.negative_sampler.sample(int(n), float(t))
+                     for n, t in zip(nodes, ts)]
+        return positives, negatives
+
+    def loss(self, embeddings: Tensor, memory: Tensor,
+             nodes: np.ndarray, ts: np.ndarray) -> Tensor:
+        positives, negatives = self.sample_pairs(nodes, ts)
+        h_tp = subgraph_readout(memory, positives, self.readout)
+        h_tn = subgraph_readout(memory, negatives, self.readout)
+        return _contrast_objective(self.objective, embeddings, h_tp, h_tn,
+                                   self.margin)
+
+
+class StructuralContrast:
+    """Structural contrast ``L_ε`` (paper Eq. 14).
+
+    ``readout`` and ``objective`` as in :class:`TemporalContrast`.
+    """
+
+    def __init__(self, finder, epsilon: int, depth: int, margin: float = 1.0,
+                 seed: int = 0, readout: str = "mean",
+                 objective: str = "triplet"):
+        self.sampler = EpsilonDFSSampler(finder, epsilon, depth)
+        self.margin = margin
+        self.readout = readout
+        self.objective = objective
+        self._rng = np.random.default_rng(seed)
+
+    def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray,
+                     num_nodes: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Draw ``(SP_i^t, SN_{i'}^t)``; ``i'`` is a random node ≠ i."""
+        positives = [self.sampler.sample(int(n), float(t))
+                     for n, t in zip(nodes, ts)]
+        negatives = []
+        for n, t in zip(nodes, ts):
+            other = int(self._rng.integers(0, num_nodes))
+            while other == int(n):
+                other = int(self._rng.integers(0, num_nodes))
+            negatives.append(self.sampler.sample(other, float(t)))
+        return positives, negatives
+
+    def loss(self, embeddings: Tensor, memory: Tensor,
+             nodes: np.ndarray, ts: np.ndarray, num_nodes: int) -> Tensor:
+        positives, negatives = self.sample_pairs(nodes, ts, num_nodes)
+        h_sp = subgraph_readout(memory, positives, self.readout)
+        h_sn = subgraph_readout(memory, negatives, self.readout)
+        return _contrast_objective(self.objective, embeddings, h_sp, h_sn,
+                                   self.margin)

@@ -1,0 +1,47 @@
+"""Auxiliary temporal link prediction pretext task (paper Eq. 15–16).
+
+``ŷ_ij^t = σ(MLP(z_i ∥ z_j))`` trained with binary cross-entropy over the
+observed edge and one corrupted destination per event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.layers import MLP
+from ..nn.losses import bce_with_logits
+from ..nn.module import Module
+
+__all__ = ["LinkPredictionHead"]
+
+
+class LinkPredictionHead(Module):
+    """Two-layer MLP affinity scorer over concatenated embeddings."""
+
+    def __init__(self, embed_dim: int, rng: np.random.Generator,
+                 hidden_dim: int | None = None):
+        super().__init__()
+        hidden = hidden_dim if hidden_dim is not None else embed_dim
+        self.net = MLP([2 * embed_dim, hidden, 1], rng)
+
+    def score(self, z_src: Tensor, z_dst: Tensor) -> Tensor:
+        """Edge logits (pre-sigmoid affinity of Eq. 15)."""
+        return self.net(F.concatenate([z_src, z_dst], axis=-1)).reshape(-1)
+
+    def probability(self, z_src: Tensor, z_dst: Tensor) -> Tensor:
+        """Eq. 15: sigmoid affinity."""
+        return F.sigmoid(self.score(z_src, z_dst))
+
+    def loss(self, z_src: Tensor, z_dst: Tensor, z_neg: Tensor) -> Tensor:
+        """Eq. 16: BCE over positive pairs and corrupted pairs."""
+        pos = self.score(z_src, z_dst)
+        neg = self.score(z_src, z_neg)
+        logits = F.concatenate([pos, neg], axis=0)
+        labels = np.concatenate([np.ones(pos.shape[0]), np.zeros(neg.shape[0])])
+        return bce_with_logits(logits, labels)
+
+    # Convenience for evaluation loops.
+    def forward(self, z_src: Tensor, z_dst: Tensor) -> Tensor:
+        return self.probability(z_src, z_dst)

@@ -1,0 +1,57 @@
+"""Temporal-aware sampling probabilities (paper Eq. 6–8).
+
+Given the interaction times ``T_i^t`` of a node's neighbours, the η-BFS
+sampler weights each neighbour by a softmax over normalised recency:
+
+* chronological (Eq. 6–7): recent neighbours more likely → positive view;
+* reverse chronological (Eq. 8): old neighbours more likely → negative view;
+* uniform: the prior-work control arm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chronological_probability", "reverse_chronological_probability",
+           "uniform_probability", "PROBABILITY_FUNCTIONS"]
+
+
+def _normalised_recency(times: np.ndarray, t: float) -> np.ndarray:
+    """Paper Eq. 6: ``t̂_u = (t_u - min T) / (t - min T)`` in [0, 1]."""
+    times = np.asarray(times, dtype=np.float64)
+    t_min = times.min()
+    span = t - t_min
+    if span <= 0:
+        return np.zeros_like(times)
+    return (times - t_min) / span
+
+
+def chronological_probability(times: np.ndarray, t: float, tau: float = 0.2) -> np.ndarray:
+    """Paper Eq. 7: softmax(t̂_u / τ) — favours *recent* events."""
+    recency = _normalised_recency(times, t)
+    logits = recency / tau
+    logits -= logits.max()
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def reverse_chronological_probability(times: np.ndarray, t: float, tau: float = 0.2) -> np.ndarray:
+    """Paper Eq. 8: softmax((1 - t̂_u) / τ) — favours *agelong* events."""
+    staleness = 1.0 - _normalised_recency(times, t)
+    logits = staleness / tau
+    logits -= logits.max()
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def uniform_probability(times: np.ndarray, t: float, tau: float = 0.2) -> np.ndarray:
+    """Uniform control arm (the sampling of prior DGNN work)."""
+    n = len(times)
+    return np.full(n, 1.0 / n)
+
+
+PROBABILITY_FUNCTIONS = {
+    "chronological": chronological_probability,
+    "reverse": reverse_chronological_probability,
+    "uniform": uniform_probability,
+}

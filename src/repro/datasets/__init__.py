@@ -1,0 +1,27 @@
+"""Synthetic dataset generators and transfer splits.
+
+Seeded CTDG generators standing in for the paper's six datasets (Amazon
+Review, Gowalla, Meituan, Wikipedia, MOOC, Reddit) plus the time / field /
+time+field transfer-split machinery of paper §V-C.
+"""
+
+from .fields import FieldedUniverse, FieldSpec
+from .generators import (BipartiteInteractionGenerator, InteractionConfig,
+                         SharedUsers)
+from .labeled import LabeledConfig, LabeledInteractionGenerator
+from .registry import (DEFAULT_SPLIT_TIME, LABELED_DATASETS, MEDIUM, SMALL,
+                       DatasetScale, amazon_universe, gowalla_universe,
+                       labeled_stream, meituan_stream)
+from .splits import (DownstreamSplit, TransferSetting, TransferSplit,
+                     make_transfer_split, node_classification_split,
+                     split_downstream)
+
+__all__ = [
+    "InteractionConfig", "BipartiteInteractionGenerator", "SharedUsers",
+    "LabeledConfig", "LabeledInteractionGenerator",
+    "FieldSpec", "FieldedUniverse",
+    "amazon_universe", "gowalla_universe", "meituan_stream", "labeled_stream",
+    "LABELED_DATASETS", "DEFAULT_SPLIT_TIME", "DatasetScale", "SMALL", "MEDIUM",
+    "TransferSetting", "TransferSplit", "DownstreamSplit",
+    "make_transfer_split", "split_downstream", "node_classification_split",
+]

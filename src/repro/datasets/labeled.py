@@ -1,0 +1,133 @@
+"""Dynamic-node-label CTDG generator — Wikipedia / MOOC / Reddit analogues.
+
+Those datasets carry *dynamic* labels: a user becomes banned (Wikipedia,
+Reddit) or a student drops out (MOOC) at some point in the stream, and the
+task is to predict the state change from the interaction history.  The
+synthetic mechanism below reproduces the causal structure:
+
+1. a subset of items is "deviant" (vandalism-prone pages / hard course
+   units / toxic subreddits);
+2. each user carries a hidden susceptibility; interactions with deviant
+   items accumulate *strain*, which also decays over time — so the label is
+   caused by **recent** behaviour, exactly the short-term pattern CPDG's
+   temporal contrast is built for;
+3. once strain crosses the user's threshold the user flips to the positive
+   state, and every subsequent event it sources is labelled ``1`` (matching
+   how JODIE-style loaders expose banned/dropout labels per interaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.events import EventStream
+from .generators import BipartiteInteractionGenerator, InteractionConfig
+
+__all__ = ["LabeledConfig", "LabeledInteractionGenerator"]
+
+
+@dataclass
+class LabeledConfig:
+    """Configuration of the labelled stream on top of the base process.
+
+    ``recovery_factor`` controls whether the state flip is transient: a
+    flipped user recovers once its decayed strain falls below
+    ``recovery_factor × threshold`` (hysteresis).  Set it to ``None`` for
+    an absorbing state (a permanent ban).  Transient states make the label
+    depend on *recent* behaviour — the short-term fluctuating pattern the
+    paper's temporal contrast targets — rather than on node identity,
+    which a transductive embedding table could simply memorise.
+
+    ``deviant_refreshes`` re-draws the deviant item set that many times at
+    evenly spaced points of the stream (0 keeps it fixed).  Rotating the
+    deviant set removes the remaining static shortcut ("this item is bad",
+    "this user is the type"), so only models tracking recent interaction
+    structure keep up — mirroring how vandalism targets and toxic topics
+    drift in the real datasets.
+    """
+
+    base: InteractionConfig
+    deviant_fraction: float = 0.2
+    strain_per_hit: float = 1.0
+    strain_decay: float = 0.05
+    threshold_mean: float = 4.0
+    threshold_std: float = 1.5
+    susceptible_fraction: float = 0.5
+    recovery_factor: float | None = 0.6
+    deviant_refreshes: int = 0
+
+
+class LabeledInteractionGenerator:
+    """Generate a stream whose per-event labels mark state-flipped users."""
+
+    def __init__(self, config: LabeledConfig, seed: int):
+        self.config = config
+        self.seed = seed
+        self._rng = np.random.default_rng(seed + 1_000_003)
+        self._base_generator = BipartiteInteractionGenerator(config.base, seed)
+
+    def generate(self, name: str = "labeled") -> EventStream:
+        cfg = self.config
+        base_cfg = cfg.base
+        rng = self._rng
+        stream = self._base_generator.generate(name=name)
+
+        num_items = base_cfg.num_items
+        num_users = base_cfg.num_users
+        num_deviant = max(1, int(round(cfg.deviant_fraction * num_items)))
+
+        def draw_deviant_set() -> np.ndarray:
+            chosen = rng.choice(num_items, size=num_deviant, replace=False)
+            mask = np.zeros(num_items, dtype=bool)
+            mask[chosen] = True
+            return mask
+
+        deviant_mask = draw_deviant_set()
+        initial_deviant = np.flatnonzero(deviant_mask)
+        # Refresh points evenly spaced over the stream (none when 0).
+        refresh_times: list[float] = []
+        if cfg.deviant_refreshes > 0:
+            span = base_cfg.time_span
+            refresh_times = list(np.linspace(
+                span / (cfg.deviant_refreshes + 1),
+                span * cfg.deviant_refreshes / (cfg.deviant_refreshes + 1),
+                cfg.deviant_refreshes))
+        next_refresh = 0
+
+        susceptible = rng.random(num_users) < cfg.susceptible_fraction
+        thresholds = np.maximum(
+            rng.normal(cfg.threshold_mean, cfg.threshold_std, size=num_users), 1.0)
+
+        strain = np.zeros(num_users)
+        last_seen = np.zeros(num_users)
+        flipped = np.zeros(num_users, dtype=bool)
+        labels = np.zeros(stream.num_events, dtype=np.int64)
+
+        ever_flipped = np.zeros(num_users, dtype=bool)
+        for k in range(stream.num_events):
+            user = int(stream.src[k])
+            item_index = int(stream.dst[k]) - num_users
+            t = float(stream.timestamps[k])
+            while next_refresh < len(refresh_times) and t >= refresh_times[next_refresh]:
+                deviant_mask = draw_deviant_set()
+                next_refresh += 1
+            # Exponential decay of accumulated strain since last event.
+            strain[user] *= np.exp(-cfg.strain_decay * (t - last_seen[user]))
+            last_seen[user] = t
+            if deviant_mask[item_index] and susceptible[user]:
+                strain[user] += cfg.strain_per_hit
+            if not flipped[user] and strain[user] >= thresholds[user]:
+                flipped[user] = True
+                ever_flipped[user] = True
+            elif (flipped[user] and cfg.recovery_factor is not None
+                  and strain[user] < cfg.recovery_factor * thresholds[user]):
+                flipped[user] = False
+            labels[k] = int(flipped[user])
+
+        stream.labels = labels
+        stream.metadata["deviant_items"] = np.sort(initial_deviant).tolist()
+        stream.metadata["positive_rate"] = float(labels.mean())
+        stream.metadata["flipped_users"] = int(ever_flipped.sum())
+        return stream

@@ -1,0 +1,25 @@
+"""Memory-based dynamic graph neural networks (paper §III-B).
+
+The generic message → aggregate → update → embed framework with the three
+named backbones of paper Table III: TGN, JODIE and DyRep.
+"""
+
+from .aggregators import LastAggregator, MeanAggregator, make_aggregator
+from .embedding import (EmbeddingContext, IdentityEmbedding,
+                        TemporalAttentionEmbedding, TimeProjectionEmbedding)
+from .encoder import BACKBONES, DGNNEncoder, make_encoder
+from .memory import Memory, RawMessageStore
+from .messages import AttentionMessage, IdentityMessage, MLPMessage
+from .tgat import TGATEncoder
+from .time_encoding import TimeEncoder
+from .updaters import GRUUpdater, LSTMUpdater, RNNUpdater, make_updater
+
+__all__ = [
+    "DGNNEncoder", "make_encoder", "BACKBONES", "TGATEncoder",
+    "Memory", "RawMessageStore", "TimeEncoder",
+    "IdentityMessage", "MLPMessage", "AttentionMessage",
+    "LastAggregator", "MeanAggregator", "make_aggregator",
+    "GRUUpdater", "RNNUpdater", "LSTMUpdater", "make_updater",
+    "EmbeddingContext", "IdentityEmbedding", "TimeProjectionEmbedding",
+    "TemporalAttentionEmbedding",
+]

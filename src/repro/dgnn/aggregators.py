@@ -1,0 +1,42 @@
+"""Message aggregators ``Agg(·)`` (paper Eq. 3, Table III).
+
+When a node accumulates several messages between memory flushes, they are
+reduced to one: ``last`` (TGN's default — keep the most recent) or ``mean``.
+Aggregation happens over the *pending message list* of each node.
+"""
+
+from __future__ import annotations
+
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.module import Module
+
+__all__ = ["LastAggregator", "MeanAggregator", "make_aggregator"]
+
+
+class LastAggregator(Module):
+    """Keep only the most recent message (paper Table III, TGN row)."""
+
+    keep_all_messages = False
+
+    def forward(self, messages: list[Tensor]) -> Tensor:
+        return messages[-1]
+
+
+class MeanAggregator(Module):
+    """Average all pending messages of a node."""
+
+    keep_all_messages = True
+
+    def forward(self, messages: list[Tensor]) -> Tensor:
+        if len(messages) == 1:
+            return messages[0]
+        return F.stack(messages, axis=0).mean(axis=0)
+
+
+def make_aggregator(name: str) -> Module:
+    if name == "last":
+        return LastAggregator()
+    if name == "mean":
+        return MeanAggregator()
+    raise ValueError(f"unknown aggregator {name!r} (expected 'last' or 'mean')")

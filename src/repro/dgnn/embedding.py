@@ -1,0 +1,156 @@
+"""Embedding modules — the ``f(·)`` of paper Eq. 1 / Table III.
+
+Given flushed memory states, an embedding module produces the temporal
+embedding ``z_i^t`` for query nodes:
+
+* :class:`IdentityEmbedding` — ``z = W s_i`` (DyRep);
+* :class:`TimeProjectionEmbedding` — JODIE's projected embedding
+  ``z = W ((1 + Δt·w) ⊙ s_i)``;
+* :class:`TemporalAttentionEmbedding` — TGN/TGAT graph attention over the
+  most recent temporal neighbours, recursively for ``n_layers`` hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.neighbor_finder import NeighborFinder
+from ..nn import functional as F
+from ..nn.attention import TemporalAttention
+from ..nn.autograd import Tensor
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..nn.module import Parameter
+from .time_encoding import TimeEncoder
+
+__all__ = ["EmbeddingContext", "IdentityEmbedding", "TimeProjectionEmbedding",
+           "TemporalAttentionEmbedding"]
+
+
+@dataclass
+class EmbeddingContext:
+    """Everything an embedding module may consult for one batch.
+
+    ``memory`` is the flushed in-graph memory tensor ``(num_nodes, D)``;
+    ``last_update`` raw per-node last-interaction times; ``finder`` the
+    temporal adjacency of the *attached* stream; ``edge_feats`` the
+    stream's edge feature matrix (or None); ``time_encoder`` the shared
+    φ(Δt) module.
+    """
+
+    memory: Tensor
+    last_update: np.ndarray
+    finder: NeighborFinder
+    edge_feats: np.ndarray | None
+    time_encoder: TimeEncoder
+
+
+class IdentityEmbedding(Module):
+    """DyRep: the memory state is the embedding (linearly projected)."""
+
+    def __init__(self, memory_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.out_dim = out_dim
+        self.proj = Linear(memory_dim, out_dim, rng)
+
+    def forward(self, ctx: EmbeddingContext, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
+        states = F.embedding_lookup(ctx.memory, nodes)
+        return self.proj(states)
+
+
+class TimeProjectionEmbedding(Module):
+    """JODIE: project the state forward along the elapsed time.
+
+    ``z_i(t) = W ((1 + Δt̂ · w) ⊙ s_i)`` where ``Δt̂`` is the elapsed time
+    since node ``i``'s last interaction, scaled by ``delta_scale`` (set to
+    the stream's mean inter-event gap by the encoder).
+    """
+
+    def __init__(self, memory_dim: int, out_dim: int, rng: np.random.Generator,
+                 delta_scale: float = 1.0):
+        super().__init__()
+        self.out_dim = out_dim
+        self.delta_scale = delta_scale
+        self.time_weight = Parameter(np.zeros(memory_dim))
+        self.proj = Linear(memory_dim, out_dim, rng)
+
+    def forward(self, ctx: EmbeddingContext, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
+        states = F.embedding_lookup(ctx.memory, nodes)
+        deltas = (np.asarray(ts, dtype=np.float64) - ctx.last_update[nodes]) / self.delta_scale
+        factor = Tensor(deltas[:, None]) * self.time_weight + 1.0
+        return self.proj(states * factor)
+
+
+class TemporalAttentionEmbedding(Module):
+    """TGN: multi-head attention over the most recent temporal neighbours.
+
+    The layer-``l`` representation queries with the node's layer-``l-1``
+    representation plus φ(0) and attends over neighbours' layer-``l-1``
+    representations, their interaction-time encodings and edge features.
+    A skip connection merges the attended vector with the node state.
+    """
+
+    def __init__(self, memory_dim: int, out_dim: int, time_dim: int, edge_dim: int,
+                 num_heads: int, n_neighbors: int, n_layers: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        self.out_dim = out_dim
+        self.n_neighbors = n_neighbors
+        self.n_layers = n_layers
+        dims = [memory_dim] + [out_dim] * n_layers
+        self.attentions = [
+            TemporalAttention(
+                query_dim=dims[layer] + time_dim,
+                key_dim=dims[layer] + time_dim + edge_dim,
+                out_dim=out_dim, num_heads=num_heads, rng=rng)
+            for layer in range(n_layers)
+        ]
+        self.merges = [Linear(out_dim + dims[layer], out_dim, rng)
+                       for layer in range(n_layers)]
+
+    def forward(self, ctx: EmbeddingContext, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
+        return self._embed_layer(ctx, np.asarray(nodes, dtype=np.int64),
+                                 np.asarray(ts, dtype=np.float64), self.n_layers)
+
+    def _embed_layer(self, ctx: EmbeddingContext, nodes: np.ndarray,
+                     ts: np.ndarray, layer: int) -> Tensor:
+        if layer == 0:
+            return F.embedding_lookup(ctx.memory, nodes)
+
+        batch = len(nodes)
+        neighbors, times, events, mask = ctx.finder.batch_most_recent(
+            nodes, ts, self.n_neighbors)
+
+        center = self._embed_layer(ctx, nodes, ts, layer - 1)
+        flat_neighbors = neighbors.reshape(-1)
+        flat_times = np.repeat(ts, self.n_neighbors)
+        neighbor_repr = self._embed_layer(ctx, flat_neighbors, flat_times, layer - 1)
+
+        # Time encodings: φ(0) for the query, φ(t - t_u) for the keys.
+        zero_enc = ctx.time_encoder(Tensor(np.zeros(batch)))
+        delta = np.repeat(ts, self.n_neighbors) - times.reshape(-1)
+        delta_enc = ctx.time_encoder(Tensor(delta))
+
+        key_parts = [neighbor_repr, delta_enc]
+        if ctx.edge_feats is not None:
+            feats = ctx.edge_feats[events.reshape(-1)]
+            feats[mask.reshape(-1)] = 0.0
+            key_parts.append(Tensor(feats))
+        keys = F.concatenate(key_parts, axis=-1)
+        keys = keys.reshape(batch, self.n_neighbors, keys.shape[-1])
+
+        query = F.concatenate([center, zero_enc], axis=-1)
+        # Fully padded rows would softmax over -inf only; un-mask their
+        # first slot (the zero neighbour state contributes nothing real,
+        # and the merge layer still sees the true center state).
+        all_padded = mask.all(axis=1)
+        if all_padded.any():
+            mask = mask.copy()
+            mask[all_padded, 0] = False
+        attended = self.attentions[layer - 1](query, keys, mask)
+        merged = self.merges[layer - 1](F.concatenate([attended, center], axis=-1))
+        return F.relu(merged)

@@ -1,0 +1,268 @@
+"""The unified memory-based DGNN encoder (paper §III-B, Table III).
+
+One class implements the whole framework: message function → message
+aggregator → memory updater → embedding module, with raw-message deferral
+as in the reference TGN implementation (messages produced by batch *k*
+update the memory inside batch *k+1*'s autograd graph, giving the message
+and updater parameters gradients under one-batch truncated BPTT).
+
+Typical batch loop::
+
+    encoder.attach(stream)          # bind temporal adjacency + edge feats
+    for batch in chronological_batches(stream, B, rng):
+        z_src = encoder.compute_embedding(batch.src, batch.timestamps)
+        z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
+        ... loss, backward, step ...
+        encoder.register_batch(batch)
+        encoder.end_batch()
+
+:func:`make_encoder` builds the JODIE / DyRep / TGN variants per Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.batching import EventBatch
+from ..graph.events import EventStream
+from ..graph.neighbor_finder import NeighborFinder
+from ..nn import functional as F
+from ..nn.autograd import Tensor
+from ..nn.module import Module
+from .aggregators import make_aggregator
+from .embedding import (EmbeddingContext, IdentityEmbedding,
+                        TemporalAttentionEmbedding, TimeProjectionEmbedding)
+from .memory import Memory, RawMessageStore
+from .messages import AttentionMessage, IdentityMessage, MLPMessage
+from .time_encoding import TimeEncoder
+from .updaters import make_updater
+
+__all__ = ["DGNNEncoder", "make_encoder", "BACKBONES"]
+
+BACKBONES = ("tgn", "jodie", "dyrep")
+
+
+class DGNNEncoder(Module):
+    """Generic memory-based dynamic graph encoder.
+
+    Parameters mirror paper Table III; see :func:`make_encoder` for the
+    three named configurations.
+    """
+
+    def __init__(self, num_nodes: int, memory_dim: int, embed_dim: int,
+                 time_dim: int, edge_dim: int, rng: np.random.Generator,
+                 message: str = "identity", aggregator: str = "last",
+                 updater: str = "gru", embedding: str = "attention",
+                 n_neighbors: int = 10, n_layers: int = 1, num_heads: int = 2,
+                 delta_scale: float = 1.0):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.memory_dim = memory_dim
+        self.embed_dim = embed_dim
+        self.time_dim = time_dim
+        self.edge_dim = edge_dim
+        self.n_neighbors = n_neighbors
+
+        self.time_encoder = TimeEncoder(time_dim)
+        self.message_fn = self._build_message(message, rng)
+        self.aggregator = make_aggregator(aggregator)
+        self.updater = make_updater(updater, self.message_fn.output_dim,
+                                    memory_dim, rng)
+        self.embedding_module = self._build_embedding(embedding, num_heads,
+                                                      n_layers, delta_scale, rng)
+
+        # Non-learnable state (underscored so Module traversal skips it).
+        self._memory = Memory(num_nodes, memory_dim)
+        self._messages = RawMessageStore(keep_all=self.aggregator.keep_all_messages)
+        self._finder: NeighborFinder | None = None
+        self._edge_feats: np.ndarray | None = None
+        self._flushed: Tensor | None = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_message(self, name: str, rng: np.random.Generator) -> Module:
+        if name == "identity":
+            return IdentityMessage(self.memory_dim, self.time_dim, self.edge_dim)
+        if name == "mlp":
+            return MLPMessage(self.memory_dim, self.time_dim, self.edge_dim,
+                              self.memory_dim, rng)
+        if name == "attention":
+            return AttentionMessage(self.memory_dim, self.time_dim,
+                                    self.edge_dim, rng)
+        raise ValueError(f"unknown message function {name!r}")
+
+    def _build_embedding(self, name: str, num_heads: int, n_layers: int,
+                         delta_scale: float, rng: np.random.Generator) -> Module:
+        if name == "identity":
+            return IdentityEmbedding(self.memory_dim, self.embed_dim, rng)
+        if name == "time":
+            return TimeProjectionEmbedding(self.memory_dim, self.embed_dim, rng,
+                                           delta_scale=delta_scale)
+        if name == "attention":
+            return TemporalAttentionEmbedding(
+                self.memory_dim, self.embed_dim, self.time_dim, self.edge_dim,
+                num_heads=num_heads, n_neighbors=self.n_neighbors,
+                n_layers=n_layers, rng=rng)
+        raise ValueError(f"unknown embedding module {name!r}")
+
+    # ------------------------------------------------------------------
+    # stream binding and memory control
+    # ------------------------------------------------------------------
+    def attach(self, stream: EventStream, finder: NeighborFinder | None = None) -> None:
+        """Bind the encoder to a stream's temporal adjacency and features."""
+        self._finder = finder if finder is not None else NeighborFinder(stream)
+        if stream.edge_feats is not None and self.edge_dim:
+            self._edge_feats = stream.edge_feats
+        else:
+            self._edge_feats = (np.zeros((stream.num_events, self.edge_dim))
+                                if self.edge_dim else None)
+
+    def reset_memory(self) -> None:
+        self._memory.reset()
+        self._messages.clear()
+        self._flushed = None
+
+    @property
+    def memory(self) -> Memory:
+        return self._memory
+
+    def memory_checkpoint(self) -> np.ndarray:
+        """Raw memory snapshot for EIE checkpointing (paper Eq. 18)."""
+        return self._memory.checkpoint()
+
+    def load_memory(self, state: np.ndarray, last_update: np.ndarray | None = None) -> None:
+        """Overwrite memory (used when carrying pre-trained memory into
+        fine-tuning).  Pending raw messages and the batch cache are
+        discarded so the loaded state is authoritative."""
+        self._memory.persist(state)
+        if last_update is not None:
+            self._memory.last_update = np.array(last_update, copy=True)
+        self._messages.clear()
+        self._flushed = None
+
+    def memory_snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(state, last_update)`` copies for later :meth:`load_memory`."""
+        return self._memory.checkpoint(), self._memory.last_update.copy()
+
+    # ------------------------------------------------------------------
+    # batch processing
+    # ------------------------------------------------------------------
+    def flush_messages(self) -> Tensor:
+        """Apply pending raw messages to memory inside the current graph.
+
+        Returns the full-memory tensor used by this batch; cached so
+        repeated :meth:`compute_embedding` calls share one flush.
+        """
+        if self._flushed is not None:
+            return self._flushed
+        base = self._memory.as_tensor()
+        pending = self._messages.pop_all()
+        if pending:
+            nodes = np.array(sorted(pending), dtype=np.int64)
+            payloads = [pending[int(n)] for n in nodes]
+            if self.aggregator.keep_all_messages:
+                flat = [(row, p) for row, plist in enumerate(payloads) for p in plist]
+                groups = np.array([row for row, _ in flat], dtype=np.int64)
+                messages = self._raw_messages([p for _, p in flat])
+                aggregated = F.scatter_mean(messages, groups, len(nodes))
+            else:
+                aggregated = self._raw_messages([plist[-1] for plist in payloads])
+            previous = F.embedding_lookup(base, nodes)
+            updated = self.updater(aggregated, previous)
+            base = F.scatter_rows(base, nodes, updated)
+        self._flushed = base
+        return base
+
+    def _raw_messages(self, payloads: list[dict]) -> Tensor:
+        """Vectorised message computation from stored raw payloads."""
+        self_state = Tensor(np.stack([p["self_state"] for p in payloads]))
+        other_state = Tensor(np.stack([p["other_state"] for p in payloads]))
+        deltas = Tensor(np.array([p["delta_t"] for p in payloads]))
+        time_enc = self.time_encoder(deltas)
+        edge_feat = None
+        if self.edge_dim and payloads[0]["edge_feat"] is not None:
+            edge_feat = Tensor(np.stack([p["edge_feat"] for p in payloads]))
+        return self.message_fn(self_state, other_state, time_enc, edge_feat)
+
+    def compute_embedding(self, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
+        """Temporal embeddings ``z_i^t`` (paper Eq. 1) for a node batch."""
+        if self._finder is None:
+            raise RuntimeError("encoder not attached to a stream; call attach()")
+        memory = self.flush_messages()
+        ctx = EmbeddingContext(
+            memory=memory,
+            last_update=self._memory.last_update,
+            finder=self._finder,
+            edge_feats=self._edge_feats,
+            time_encoder=self.time_encoder,
+        )
+        return self.embedding_module(ctx, np.asarray(nodes, dtype=np.int64),
+                                     np.asarray(ts, dtype=np.float64))
+
+    def register_batch(self, batch: EventBatch) -> None:
+        """Queue raw messages for this batch's events (paper Eq. 2 inputs).
+
+        Stores detached endpoint states so the flush in the *next* batch
+        recomputes messages inside that batch's graph.
+        """
+        memory = self._flushed
+        state = memory.data if memory is not None else self._memory.state
+        last_update = self._memory.last_update
+        edge_feats = self._edge_feats
+        for row in range(len(batch)):
+            src = int(batch.src[row])
+            dst = int(batch.dst[row])
+            t = float(batch.timestamps[row])
+            feat = None
+            if edge_feats is not None:
+                feat = edge_feats[int(batch.event_ids[row])].copy()
+            src_state = state[src].copy()
+            dst_state = state[dst].copy()
+            self._messages.push(src, {
+                "self_state": src_state, "other_state": dst_state,
+                "delta_t": t - last_update[src], "edge_feat": feat, "time": t,
+            })
+            self._messages.push(dst, {
+                "self_state": dst_state, "other_state": src_state,
+                "delta_t": t - last_update[dst], "edge_feat": feat, "time": t,
+            })
+        self._memory.touch(np.concatenate([batch.src, batch.dst]),
+                           np.concatenate([batch.timestamps, batch.timestamps]))
+
+    def end_batch(self) -> None:
+        """Persist the flushed memory (detached) and clear the batch cache."""
+        if self._flushed is not None:
+            self._memory.persist(self._flushed.data)
+            self._flushed = None
+
+
+def make_encoder(backbone: str, num_nodes: int, rng: np.random.Generator,
+                 memory_dim: int = 32, embed_dim: int = 32, time_dim: int = 8,
+                 edge_dim: int = 4, n_neighbors: int = 10, n_layers: int = 1,
+                 delta_scale: float = 1.0) -> DGNNEncoder:
+    """Build a named DGNN backbone per paper Table III.
+
+    ========  ==========  =======  =======  =========
+    backbone  f(·)        Msg(·)   Agg(·)   Mem(·)
+    ========  ==========  =======  =======  =========
+    jodie     time proj.  identity last     RNN
+    dyrep     identity    attention last    RNN
+    tgn       attention   identity last     GRU
+    ========  ==========  =======  =======  =========
+    """
+    backbone = backbone.lower()
+    common = dict(num_nodes=num_nodes, memory_dim=memory_dim,
+                  embed_dim=embed_dim, time_dim=time_dim, edge_dim=edge_dim,
+                  rng=rng, n_neighbors=n_neighbors, n_layers=n_layers,
+                  delta_scale=delta_scale)
+    if backbone == "jodie":
+        return DGNNEncoder(message="identity", aggregator="last",
+                           updater="rnn", embedding="time", **common)
+    if backbone == "dyrep":
+        return DGNNEncoder(message="attention", aggregator="last",
+                           updater="rnn", embedding="identity", **common)
+    if backbone == "tgn":
+        return DGNNEncoder(message="identity", aggregator="last",
+                           updater="gru", embedding="attention", **common)
+    raise ValueError(f"unknown backbone {backbone!r}; expected one of {BACKBONES}")

@@ -1,0 +1,59 @@
+"""Memory updaters ``Mem(·)`` (paper Eq. 4, Table III).
+
+Wrap a recurrent cell so the new state is ``cell(message, previous_state)``:
+GRU for TGN, vanilla RNN for JODIE/DyRep, LSTM as the extra option the
+paper's Eq. 4 mentions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.autograd import Tensor
+from ..nn.module import Module
+from ..nn.recurrent import GRUCell, LSTMCell, RNNCell
+
+__all__ = ["GRUUpdater", "RNNUpdater", "LSTMUpdater", "make_updater"]
+
+
+class GRUUpdater(Module):
+    """TGN's memory updater."""
+
+    def __init__(self, message_dim: int, memory_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(message_dim, memory_dim, rng)
+
+    def forward(self, message: Tensor, previous: Tensor) -> Tensor:
+        return self.cell(message, previous)
+
+
+class RNNUpdater(Module):
+    """JODIE / DyRep memory updater."""
+
+    def __init__(self, message_dim: int, memory_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = RNNCell(message_dim, memory_dim, rng)
+
+    def forward(self, message: Tensor, previous: Tensor) -> Tensor:
+        return self.cell(message, previous)
+
+
+class LSTMUpdater(Module):
+    """LSTM option of paper Eq. 4; the cell state is folded into the
+    hidden state by feeding the previous state as both ``h`` and ``c``."""
+
+    def __init__(self, message_dim: int, memory_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(message_dim, memory_dim, rng)
+
+    def forward(self, message: Tensor, previous: Tensor) -> Tensor:
+        h_new, _ = self.cell(message, (previous, previous))
+        return h_new
+
+
+def make_updater(name: str, message_dim: int, memory_dim: int,
+                 rng: np.random.Generator) -> Module:
+    table = {"gru": GRUUpdater, "rnn": RNNUpdater, "lstm": LSTMUpdater}
+    if name not in table:
+        raise ValueError(f"unknown updater {name!r} (expected one of {sorted(table)})")
+    return table[name](message_dim, memory_dim, rng)

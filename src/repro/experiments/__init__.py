@@ -1,0 +1,13 @@
+"""Experiment runners regenerating every table and figure of the paper's
+evaluation section (Tables IV–XI, Figures 5–8)."""
+
+from .common import (SCALES, Cell, ExperimentResult, ExperimentScale,
+                     PretrainCache, aggregate, run_baseline, run_cpdg,
+                     run_no_pretrain)
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "SCALES", "ExperimentScale", "Cell", "ExperimentResult", "PretrainCache",
+    "aggregate", "run_cpdg", "run_baseline", "run_no_pretrain",
+    "EXPERIMENTS", "run_experiment",
+]

@@ -1,0 +1,254 @@
+"""Shared experiment machinery: scales, runners, result tables.
+
+Every table/figure runner in this package works the same way:
+
+* pick an :class:`ExperimentScale` ("tiny" for tests, "default" for the
+  benchmark harness) that fixes dataset sizes, model dims and epochs;
+* call :func:`run_cpdg` / :func:`run_baseline` / :func:`run_no_pretrain`
+  per cell, averaging over ``seeds``;
+* collect :class:`Cell` values into an :class:`ExperimentResult` whose
+  ``format_table()`` prints the same rows the paper reports.
+
+Pre-training is cached per ``(method, stream identity, seed)`` within a
+runner so that field / time+field settings — where the paper pre-trains
+once on the source field and fine-tunes on two targets — pay for each
+pre-training only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..baselines.pretrain import BaselinePretrainConfig
+from ..baselines.registry import BASELINES
+from ..core.config import CPDGConfig
+from ..core.pretrainer import CPDGPreTrainer, PretrainResult
+from ..datasets.registry import MEDIUM, SMALL, DatasetScale
+from ..datasets.splits import DownstreamSplit
+from ..graph.events import EventStream
+from ..tasks.finetune import (FineTuneConfig, FineTuneStrategy,
+                              build_finetuned_encoder)
+from ..tasks.link_prediction import LinkPredictionMetrics, LinkPredictionTask
+from ..tasks.node_classification import (NodeClassificationMetrics,
+                                         NodeClassificationTask)
+
+__all__ = ["ExperimentScale", "SCALES", "Cell", "ExperimentResult",
+           "run_cpdg", "run_baseline", "run_no_pretrain", "PretrainCache",
+           "aggregate"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One coherent compute budget for a whole experiment."""
+
+    name: str
+    data: DatasetScale
+    cpdg: CPDGConfig
+    finetune: FineTuneConfig
+    baseline: BaselinePretrainConfig
+    seeds: tuple[int, ...] = (0,)
+
+    def cpdg_with(self, **kwargs) -> CPDGConfig:
+        return self.cpdg.with_overrides(**kwargs)
+
+
+_TINY_CPDG = CPDGConfig(eta=4, epsilon=4, depth=2, epochs=1, batch_size=100,
+                        memory_dim=16, embed_dim=16, time_dim=4,
+                        n_neighbors=5, num_checkpoints=4)
+_DEFAULT_CPDG = CPDGConfig(eta=10, epsilon=10, depth=2, epochs=3,
+                           batch_size=200, memory_dim=32, embed_dim=32,
+                           time_dim=8, n_neighbors=10, num_checkpoints=10)
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        data=SMALL,
+        cpdg=_TINY_CPDG,
+        finetune=FineTuneConfig(epochs=2, batch_size=100, patience=2,
+                                eie_out_dim=8),
+        baseline=BaselinePretrainConfig(epochs=1, batch_size=100),
+        seeds=(0,),
+    ),
+    "default": ExperimentScale(
+        name="default",
+        data=DatasetScale(num_users=80, num_items=48, events_main=1800,
+                          events_source=2200, events_labeled=2000),
+        cpdg=_DEFAULT_CPDG,
+        finetune=FineTuneConfig(epochs=4, batch_size=200, patience=2,
+                                eie_out_dim=16),
+        baseline=BaselinePretrainConfig(epochs=3, batch_size=200),
+        seeds=(0, 1),
+    ),
+    "full": ExperimentScale(
+        name="full",
+        data=MEDIUM,
+        cpdg=_DEFAULT_CPDG.with_overrides(epochs=4),
+        finetune=FineTuneConfig(epochs=5, batch_size=200, patience=2,
+                                eie_out_dim=16),
+        baseline=BaselinePretrainConfig(epochs=4, batch_size=200),
+        seeds=(0, 1, 2),
+    ),
+}
+
+
+@dataclass
+class Cell:
+    """Mean ± std over seeds for one (method, dataset, metric) cell."""
+
+    mean: float
+    std: float
+    n_seeds: int
+
+    def __str__(self) -> str:
+        if np.isnan(self.mean):
+            return "NaN"
+        return f"{self.mean:.4f}±{self.std:.4f}"
+
+
+def aggregate(values: list[float]) -> Cell:
+    arr = np.asarray(values, dtype=np.float64)
+    return Cell(mean=float(np.nanmean(arr)) if len(arr) else float("nan"),
+                std=float(np.nanstd(arr)) if len(arr) else float("nan"),
+                n_seeds=len(arr))
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    experiment: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def format_table(self) -> str:
+        widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in self.rows))
+                  if self.rows else len(c) for c in self.columns}
+        header = " | ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [f"== {self.experiment} ==", header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(str(row.get(c, "")).ljust(widths[c])
+                                    for c in self.columns))
+        return "\n".join(lines)
+
+    def by(self, **filters) -> list[dict]:
+        """Rows matching all the given column values."""
+        return [r for r in self.rows
+                if all(r.get(k) == v for k, v in filters.items())]
+
+    def cell(self, metric: str, **filters) -> Cell:
+        matches = self.by(**filters)
+        if len(matches) != 1:
+            raise KeyError(f"expected 1 row for {filters}, found {len(matches)}")
+        return matches[0][metric]
+
+
+class PretrainCache:
+    """Memoise pre-training results within one experiment run."""
+
+    def __init__(self):
+        self._cache: dict[tuple, object] = {}
+
+    def get(self, key: tuple, compute):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# Per-cell runners
+# ----------------------------------------------------------------------
+
+def _metrics_for(strategy: FineTuneStrategy, split: DownstreamSplit,
+                 finetune: FineTuneConfig, task: str, inductive: bool):
+    if task == "link":
+        runner = LinkPredictionTask(strategy, split, finetune)
+        return runner.run(inductive=inductive)
+    if task == "node":
+        runner = NodeClassificationTask(strategy, split, finetune)
+        return runner.run()
+    raise ValueError(f"unknown task {task!r}")
+
+
+def run_cpdg(backbone: str, num_nodes: int, pretrain_stream: EventStream,
+             split: DownstreamSplit, scale: ExperimentScale, seed: int,
+             strategy: str = "eie-gru", task: str = "link",
+             inductive: bool = False, cpdg_config: CPDGConfig | None = None,
+             cache: PretrainCache | None = None,
+             cache_key_extra: tuple = ()):
+    """One CPDG cell: pre-train (cached) then fine-tune with ``strategy``."""
+    cfg = (cpdg_config if cpdg_config is not None else scale.cpdg)
+    cfg = cfg.with_overrides(seed=seed)
+    delta_scale = max(pretrain_stream.timespan /
+                      max(pretrain_stream.num_events, 1), 1e-6)
+
+    def compute() -> PretrainResult:
+        trainer = CPDGPreTrainer.from_backbone(backbone, num_nodes, cfg,
+                                               delta_scale=delta_scale)
+        return trainer.pretrain(pretrain_stream)
+
+    key = ("cpdg", backbone, id(pretrain_stream), seed,
+           cfg.beta, cfg.eta, cfg.epsilon, cfg.depth, cfg.num_checkpoints,
+           cfg.use_temporal_contrast, cfg.use_structural_contrast,
+           *cache_key_extra)
+    result = cache.get(key, compute) if cache is not None else compute()
+
+    finetune = replace(scale.finetune, seed=seed)
+    strat = build_finetuned_encoder(backbone, num_nodes, cfg, result,
+                                    strategy, finetune,
+                                    delta_scale=delta_scale)
+    return _metrics_for(strat, split, finetune, task, inductive)
+
+
+def run_no_pretrain(backbone: str, num_nodes: int, split: DownstreamSplit,
+                    scale: ExperimentScale, seed: int, task: str = "link",
+                    inductive: bool = False):
+    """Randomly initialised backbone, downstream fine-tuning only."""
+    cfg = scale.cpdg.with_overrides(seed=seed)
+    finetune = replace(scale.finetune, seed=seed)
+    strat = build_finetuned_encoder(backbone, num_nodes, cfg, None, "none",
+                                    finetune)
+    return _metrics_for(strat, split, finetune, task, inductive)
+
+
+def run_baseline(name: str, num_nodes: int, pretrain_stream: EventStream,
+                 split: DownstreamSplit, scale: ExperimentScale, seed: int,
+                 task: str = "link", inductive: bool = False,
+                 cache: PretrainCache | None = None):
+    """One baseline cell: method-specific pre-training + full fine-tune.
+
+    The pre-trained encoder itself is cached; fine-tuning always starts
+    from a deep copy of its parameters (and memory, for dynamic methods).
+    """
+    spec = BASELINES[name]
+    cfg = replace(scale.baseline, seed=seed)
+    delta_scale = max(pretrain_stream.timespan /
+                      max(pretrain_stream.num_events, 1), 1e-6)
+
+    def compute():
+        rng = np.random.default_rng(seed)
+        encoder = spec.build(num_nodes, scale.cpdg.embed_dim, rng,
+                             n_neighbors=scale.cpdg.n_neighbors,
+                             memory_dim=scale.cpdg.memory_dim,
+                             time_dim=scale.cpdg.time_dim,
+                             edge_dim=scale.cpdg.edge_dim,
+                             delta_scale=delta_scale)
+        spec.pretrain(encoder, pretrain_stream, cfg)
+        state = encoder.state_dict()
+        memory = encoder.memory_snapshot()
+        return encoder, state, memory
+
+    key = ("baseline", name, id(pretrain_stream), seed)
+    encoder, state, memory = (cache.get(key, compute) if cache is not None
+                              else compute())
+    encoder.load_state_dict(state)
+    if memory[0].size:
+        encoder.load_memory(*memory)
+    finetune = replace(scale.finetune, seed=seed)
+    strategy = FineTuneStrategy(name=name, encoder=encoder, eie=None)
+    return _metrics_for(strategy, split, finetune, task, inductive)

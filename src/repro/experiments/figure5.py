@@ -1,0 +1,77 @@
+"""Figure 5 — ablation study: CPDG vs w/o TC, w/o SC, w/o EIE.
+
+Link prediction on Amazon Beauty / Luxury (time+field transfer) and node
+classification on Wikipedia / Reddit, AUC per variant:
+
+* ``w/o TC``  — temporal contrast removed (Eq. 17 without L_η);
+* ``w/o SC``  — structural contrast removed (Eq. 17 without L_ε);
+* ``w/o EIE`` — full fine-tuning instead of EIE-GRU.
+"""
+
+from __future__ import annotations
+
+from ..datasets.registry import (DEFAULT_SPLIT_TIME, amazon_universe,
+                                 labeled_stream)
+from ..datasets.splits import make_transfer_split, node_classification_split
+from .common import (SCALES, ExperimentResult, PretrainCache, aggregate,
+                     run_cpdg)
+
+__all__ = ["run", "VARIANTS"]
+
+VARIANTS = ("CPDG", "w/o TC", "w/o SC", "w/o EIE")
+
+
+def _variant_kwargs(variant: str, base_cfg):
+    """Config/strategy overrides per ablation arm."""
+    if variant == "CPDG":
+        return base_cfg, "eie-gru"
+    if variant == "w/o TC":
+        return base_cfg.with_overrides(use_temporal_contrast=False), "eie-gru"
+    if variant == "w/o SC":
+        return base_cfg.with_overrides(use_structural_contrast=False), "eie-gru"
+    if variant == "w/o EIE":
+        return base_cfg, "full"
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def run(scale: str = "default", backbone: str = "jodie", verbose: bool = True
+        ) -> ExperimentResult:
+    """Regenerate Figure 5 (as a table of AUC bars)."""
+    exp = SCALES[scale]
+    result = ExperimentResult(
+        experiment="Figure 5: ablation (AUC)",
+        columns=["dataset", "variant", "AUC"])
+    cache = PretrainCache()
+
+    # Link prediction arms: Beauty and Luxury under time+field transfer.
+    universe = amazon_universe(exp.data)
+    link_arms = []
+    for field in ("beauty", "luxury"):
+        split = make_transfer_split("time+field", universe.stream(field),
+                                    universe.stream("arts"),
+                                    DEFAULT_SPLIT_TIME)
+        link_arms.append((field, universe.num_nodes, split.pretrain,
+                          split.downstream, "link"))
+    # Node classification arms: Wikipedia and Reddit.
+    node_arms = []
+    for dataset in ("wikipedia", "reddit"):
+        stream = labeled_stream(dataset, exp.data)
+        pretrain, downstream = node_classification_split(stream)
+        node_arms.append((dataset, stream.num_nodes, pretrain, downstream,
+                          "node"))
+
+    for dataset, num_nodes, pretrain, downstream, task in link_arms + node_arms:
+        for variant in VARIANTS:
+            cfg, strategy = _variant_kwargs(variant, exp.cpdg)
+            aucs = []
+            for seed in exp.seeds:
+                metrics = run_cpdg(backbone, num_nodes, pretrain, downstream,
+                                   exp, seed, strategy=strategy, task=task,
+                                   cpdg_config=cfg, cache=cache)
+                aucs.append(metrics.auc)
+            result.add_row(dataset=dataset, variant=variant,
+                           AUC=aggregate(aucs))
+            if verbose:
+                print(f"[figure5] {dataset:10s} {variant:8s} "
+                      f"AUC={result.rows[-1]['AUC']}")
+    return result

@@ -1,0 +1,36 @@
+"""Experiment registry: one runner per paper table/figure.
+
+``run_experiment("table7", scale="tiny")`` dispatches to the matching
+module; ``EXPERIMENTS`` lists everything the harness can regenerate.
+"""
+
+from __future__ import annotations
+
+from . import (ablations, dataset_stats, figure5, figure6, figure7, figure8,
+               table4, table7, table8, table9, table10, table11)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS = {
+    "ablations": (ablations.run, "design-choice ablations (DESIGN.md §5)"),
+    "table4": (table4.run, "fine-tuning complexity (measured)"),
+    "table5_6": (dataset_stats.run, "dataset statistics"),
+    "table7": (table7.run, "link prediction under three transfer settings"),
+    "table8": (table8.run, "Meituan industrial dataset"),
+    "table9": (table9.run, "dynamic node classification"),
+    "table10": (table10.run, "inductive link prediction"),
+    "table11": (table11.run, "fine-tuning strategy comparison"),
+    "figure5": (figure5.run, "ablation: w/o TC / SC / EIE"),
+    "figure6": (figure6.run, "beta sweep"),
+    "figure7": (figure7.run, "eta/epsilon x k sweep"),
+    "figure8": (figure8.run, "checkpoint length L sweep"),
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (e.g. ``"table7"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}")
+    runner, _ = EXPERIMENTS[name]
+    return runner(**kwargs)

@@ -1,0 +1,60 @@
+"""Table IV — complexity of fine-tuning strategies (paper §IV-D).
+
+The paper reports asymptotic complexity: full = O(D), EIE-mean =
+O(D+N+1), EIE-attn = O(D+2N), EIE-GRU = O(D+N+NL²).  We verify the shape
+empirically: measured wall-clock per fine-tuning epoch should order
+``full ≤ eie-mean ≤ eie-attn ≤ eie-gru`` and EIE-GRU should grow with L.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from ..core.pretrainer import CPDGPreTrainer
+from ..datasets.registry import DEFAULT_SPLIT_TIME, amazon_universe
+from ..datasets.splits import make_transfer_split
+from ..tasks.finetune import build_finetuned_encoder
+from ..tasks.link_prediction import LinkPredictionTask
+from .common import SCALES, ExperimentResult
+
+__all__ = ["run", "STRATEGIES", "PAPER_COMPLEXITY"]
+
+STRATEGIES = ("full", "eie-mean", "eie-attn", "eie-gru")
+PAPER_COMPLEXITY = {
+    "full": "O(D)",
+    "eie-mean": "O(D + N + 1)",
+    "eie-attn": "O(D + 2N)",
+    "eie-gru": "O(D + N + N L^2)",
+}
+
+
+def run(scale: str = "default", backbone: str = "jodie",
+        verbose: bool = True) -> ExperimentResult:
+    """Measure per-epoch fine-tuning wall-clock for each strategy."""
+    exp = SCALES[scale]
+    result = ExperimentResult(
+        experiment="Table IV: fine-tuning complexity (measured)",
+        columns=["strategy", "paper complexity", "seconds/epoch"])
+    universe = amazon_universe(exp.data)
+    split = make_transfer_split("time", universe.stream("beauty"),
+                                universe.stream("arts"), DEFAULT_SPLIT_TIME)
+    cfg = exp.cpdg.with_overrides(seed=exp.seeds[0])
+    trainer = CPDGPreTrainer.from_backbone(backbone, universe.num_nodes, cfg)
+    pretrained = trainer.pretrain(split.pretrain)
+
+    finetune = replace(exp.finetune, epochs=1, patience=1, seed=exp.seeds[0])
+    for strategy in STRATEGIES:
+        built = build_finetuned_encoder(backbone, universe.num_nodes, cfg,
+                                        pretrained, strategy, finetune)
+        task = LinkPredictionTask(built, split.downstream, finetune)
+        start = time.perf_counter()
+        task.train()
+        elapsed = time.perf_counter() - start
+        result.add_row(strategy=strategy,
+                       **{"paper complexity": PAPER_COMPLEXITY[strategy],
+                          "seconds/epoch": round(elapsed, 3)})
+        if verbose:
+            print(f"[table4] {strategy:9s} {elapsed:.3f}s/epoch "
+                  f"({PAPER_COMPLEXITY[strategy]})")
+    return result

@@ -1,0 +1,36 @@
+"""Pure-numpy neural-network substrate (autograd, layers, optimizers).
+
+This subpackage substitutes for PyTorch in the execution environment: it
+provides reverse-mode autodiff (:class:`Tensor`), a module system, the
+layers needed by DGNN encoders (linear/MLP/embedding/recurrent cells/
+attention/time encoding), optimizers and the losses the paper uses.
+"""
+
+from . import functional
+from .attention import AdditiveAttention, TemporalAttention
+from .autograd import Tensor, as_tensor, is_grad_enabled, no_grad
+from .layers import MLP, Dropout, Embedding, Identity, LayerNorm, Linear, Sequential
+from .losses import (bce_with_logits, binary_cross_entropy, info_nce_loss,
+                     jsd_mutual_information_loss, mse_loss, softplus,
+                     triplet_margin_loss)
+from .gradcheck import GradCheckError, check_gradients, numeric_gradient
+from .module import Module, Parameter
+from .optim import SGD, AdaGrad, Adam, Optimizer, RMSprop, clip_grad_norm
+from .recurrent import GRUCell, LSTMCell, RNNCell, run_rnn
+from .schedulers import (CosineAnnealingLR, LinearWarmupLR, LRScheduler,
+                         StepLR)
+from .serialization import load_arrays, load_module, save_arrays, save_module
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional",
+    "Module", "Parameter",
+    "Linear", "MLP", "Embedding", "LayerNorm", "Dropout", "Sequential", "Identity",
+    "RNNCell", "GRUCell", "LSTMCell", "run_rnn",
+    "TemporalAttention", "AdditiveAttention",
+    "Optimizer", "SGD", "Adam", "RMSprop", "AdaGrad", "clip_grad_norm",
+    "LRScheduler", "StepLR", "CosineAnnealingLR", "LinearWarmupLR",
+    "triplet_margin_loss", "bce_with_logits", "binary_cross_entropy",
+    "jsd_mutual_information_loss", "info_nce_loss", "mse_loss", "softplus",
+    "save_module", "load_module", "save_arrays", "load_arrays",
+    "numeric_gradient", "check_gradients", "GradCheckError",
+]

@@ -1,0 +1,87 @@
+"""Attention blocks.
+
+Two users in this reproduction:
+
+* :class:`TemporalAttention` — the masked multi-head dot-product attention
+  that aggregates temporal neighbours in the TGN/DyRep embedding modules
+  (paper Eq. 1 with attention ``f``).
+* :class:`AdditiveAttention` — the lightweight scoring used by the EIE-attn
+  checkpoint fuser (paper §IV-C / Table XI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor
+from .layers import Linear
+from .module import Module
+
+__all__ = ["TemporalAttention", "AdditiveAttention"]
+
+_NEG_INF = -1e9
+
+
+class TemporalAttention(Module):
+    """Multi-head attention of a query node over its temporal neighbours.
+
+    Queries have shape ``(batch, query_dim)``; keys/values have shape
+    ``(batch, n_neighbors, key_dim)``.  ``mask`` marks *invalid* (padded)
+    neighbour slots with ``True``.
+    """
+
+    def __init__(self, query_dim: int, key_dim: int, out_dim: int,
+                 num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if out_dim % num_heads != 0:
+            raise ValueError("out_dim must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.out_dim = out_dim
+        self.q_proj = Linear(query_dim, out_dim, rng, bias=False)
+        self.k_proj = Linear(key_dim, out_dim, rng, bias=False)
+        self.v_proj = Linear(key_dim, out_dim, rng, bias=False)
+        self.out_proj = Linear(out_dim, out_dim, rng)
+
+    def forward(self, query: Tensor, keys: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, n_neighbors = keys.shape[0], keys.shape[1]
+        h, d = self.num_heads, self.head_dim
+
+        q = self.q_proj(query).reshape(batch, h, d)                      # (B, H, D)
+        k = self.k_proj(keys.reshape(batch * n_neighbors, -1)).reshape(batch, n_neighbors, h, d)
+        v = self.v_proj(keys.reshape(batch * n_neighbors, -1)).reshape(batch, n_neighbors, h, d)
+
+        k = k.transpose(0, 2, 1, 3)                                      # (B, H, N, D)
+        v = v.transpose(0, 2, 1, 3)
+        q4 = q.reshape(batch, h, 1, d)
+
+        scores = (q4 * k).sum(axis=-1) * (1.0 / np.sqrt(d))              # (B, H, N)
+        if mask is not None:
+            bias = np.where(np.asarray(mask, dtype=bool)[:, None, :], _NEG_INF, 0.0)
+            scores = scores + Tensor(bias)
+        weights = F.softmax(scores, axis=-1)
+
+        attended = (weights.reshape(batch, h, n_neighbors, 1) * v).sum(axis=2)  # (B, H, D)
+        return self.out_proj(attended.reshape(batch, h * d))
+
+
+class AdditiveAttention(Module):
+    """Single-query additive attention over a short sequence.
+
+    Scores ``score_l = v^T tanh(W x_l)`` over sequence items ``x_l`` of shape
+    ``(L, batch, dim)`` and returns the softmax-weighted sum ``(batch, dim)``.
+    This is the EIE-attn fuser over memory checkpoints.
+    """
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.proj = Linear(dim, hidden, rng)
+        self.score = Linear(hidden, 1, rng, bias=False)
+
+    def forward(self, sequence: list[Tensor]) -> Tensor:
+        scores = [self.score(F.tanh(self.proj(item))) for item in sequence]   # each (B, 1)
+        stacked = F.stack(scores, axis=0)                                     # (L, B, 1)
+        weights = F.softmax(stacked, axis=0)
+        items = F.stack(sequence, axis=0)                                     # (L, B, D)
+        return (weights * items).sum(axis=0)

@@ -1,0 +1,418 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the neural substrate that replaces PyTorch
+in this reproduction.  It implements a :class:`Tensor` wrapping a
+``numpy.ndarray`` together with a dynamically built computation graph and a
+topological-order backward pass.
+
+Design notes
+------------
+* Broadcasting is fully supported: every binary op records the operand
+  shapes and gradients are *unbroadcast* (summed over broadcast axes) on the
+  way back.
+* Gradients accumulate, mirroring PyTorch semantics: calling
+  :meth:`Tensor.backward` adds into ``.grad``; optimizers are expected to
+  call :func:`zero_grad` between steps.
+* The graph is retained only through parent references, so dropping the
+  output tensor frees the whole graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Mirrors ``torch.no_grad()``; used by evaluation loops and by the DGNN
+    memory module when persisting detached states.
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are currently recorded on the graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` over the axes that were broadcast to reach ``grad.shape``.
+
+    ``shape`` is the original operand shape.  This inverts numpy
+    broadcasting for the backward pass of elementwise binary ops.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` by default for
+        numerically robust gradient checks.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None
+        self._parents: tuple = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: tuple) -> "Tensor":
+        """Create an op output, inheriting ``requires_grad`` from parents."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ``1.0`` and requires a scalar tensor,
+            matching PyTorch's convention.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the reachable graph.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+            # Free the closure so intermediate buffers can be collected.
+            if node is not self:
+                node._backward = None
+                node._parents = ()
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data + other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _backward(grad):
+                if a.requires_grad:
+                    a._accumulate(_unbroadcast(grad, a.shape))
+                if b.requires_grad:
+                    b._accumulate(_unbroadcast(grad, b.shape))
+
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data * other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+            a_data, b_data = self.data, other.data
+
+            def _backward(grad):
+                if a.requires_grad:
+                    a._accumulate(_unbroadcast(grad * b_data, a.shape))
+                if b.requires_grad:
+                    b._accumulate(_unbroadcast(grad * a_data, b.shape))
+
+            out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _backward(grad):
+                a._accumulate(-grad)
+
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return self * as_tensor(other) ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        out = self._make_child(self.data ** exponent, (self,))
+        if out.requires_grad:
+            a = self
+            a_data = self.data
+
+            def _backward(grad):
+                a._accumulate(grad * exponent * a_data ** (exponent - 1.0))
+
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # matmul and reshaping
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+            a_data, b_data = self.data, other.data
+
+            def _backward(grad):
+                if a.requires_grad:
+                    if b_data.ndim == 1:
+                        ga = np.outer(grad, b_data) if a_data.ndim == 2 else grad * b_data
+                    else:
+                        ga = grad @ np.swapaxes(b_data, -1, -2)
+                    if a_data.ndim == 1 and ga.ndim == 2:
+                        ga = ga.sum(axis=0)
+                    a._accumulate(_unbroadcast(ga, a.shape))
+                if b.requires_grad:
+                    if a_data.ndim == 1:
+                        gb = np.outer(a_data, grad) if b_data.ndim == 2 else grad * a_data
+                    else:
+                        gb = np.swapaxes(a_data, -1, -2) @ grad
+                    b._accumulate(_unbroadcast(gb, b.shape))
+
+            out._backward = _backward
+        return out
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out = self._make_child(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _backward(grad):
+                a._accumulate(grad.reshape(original))
+
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+        out = self._make_child(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _backward(grad):
+                a._accumulate(grad.transpose(inverse))
+
+            out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,))
+        if out.requires_grad:
+            a = self
+            shape = self.shape
+
+            def _backward(grad):
+                full = np.zeros(shape, dtype=np.float64)
+                np.add.at(full, index, grad)
+                a._accumulate(full)
+
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            a = self
+            shape = self.shape
+
+            def _backward(grad):
+                g = grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a_norm(axes, len(shape))):
+                        g = np.expand_dims(g, ax)
+                a._accumulate(np.broadcast_to(g, shape).copy())
+
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[ax] for ax in a_norm(axes, self.ndim)]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / max(count, 1))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(data, (self,))
+        if out.requires_grad:
+            a = self
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+
+            def _backward(grad):
+                g = grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a_norm(axes, a.ndim)):
+                        g = np.expand_dims(g, ax)
+                a._accumulate(mask * g)
+
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # comparisons (no grad; returned as plain arrays for control flow)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+
+def a_norm(axes, ndim: int) -> tuple:
+    """Normalise possibly-negative reduction axes."""
+    return tuple(ax % ndim for ax in axes)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)

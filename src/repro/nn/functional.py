@@ -1,0 +1,300 @@
+"""Differentiable functional operations built on :mod:`repro.nn.autograd`.
+
+Each function takes and returns :class:`~repro.nn.autograd.Tensor` objects
+and registers a backward closure on the output.  Numerically delicate ops
+(softmax, log-sigmoid, logsumexp) use the standard stabilised forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, as_tensor
+
+__all__ = [
+    "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "softmax",
+    "log_softmax", "concatenate", "stack", "embedding_lookup", "dropout",
+    "clip", "sqrt", "abs_", "where", "scatter_mean", "l2_normalize",
+    "pairwise_sq_dist", "euclidean_distance", "cosine_similarity",
+    "scatter_rows",
+]
+
+
+def exp(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    data = np.exp(x.data)
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * data)
+        out._backward = _backward
+    return out
+
+
+def log(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """Natural log with a small floor to keep gradients finite."""
+    x = as_tensor(x)
+    safe = np.maximum(x.data, eps)
+    out = x._make_child(np.log(safe), (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad / safe)
+        out._backward = _backward
+    return out
+
+
+def sqrt(x: Tensor, eps: float = 1e-12) -> Tensor:
+    x = as_tensor(x)
+    data = np.sqrt(np.maximum(x.data, 0.0))
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * 0.5 / np.maximum(data, eps))
+        out._backward = _backward
+    return out
+
+
+def abs_(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = x._make_child(np.abs(x.data), (x,))
+    if out.requires_grad:
+        sign = np.sign(x.data)
+
+        def _backward(grad):
+            x._accumulate(grad * sign)
+        out._backward = _backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    data = np.tanh(x.data)
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * (1.0 - data * data))
+        out._backward = _backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    data = np.where(x.data >= 0, 1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
+                    np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))))
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * data * (1.0 - data))
+        out._backward = _backward
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    mask = x.data > 0
+    out = x._make_child(x.data * mask, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * mask)
+        out._backward = _backward
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    x = as_tensor(x)
+    factor = np.where(x.data > 0, 1.0, negative_slope)
+    out = x._make_child(x.data * factor, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * factor)
+        out._backward = _backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            dot = (grad * data).sum(axis=axis, keepdims=True)
+            x._accumulate(data * (grad - dot))
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        soft = np.exp(data)
+
+        def _backward(grad):
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+        out._backward = _backward
+    return out
+
+
+def concatenate(tensors, axis: int = -1) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tuple(tensors))
+    if out.requires_grad:
+        sizes = [t.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def _backward(grad):
+            pieces = np.split(grad, splits, axis=axis)
+            for t, g in zip(tensors, pieces):
+                if t.requires_grad:
+                    t._accumulate(g)
+        out._backward = _backward
+    return out
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tuple(tensors))
+    if out.requires_grad:
+        def _backward(grad):
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for t, g in zip(tensors, pieces):
+                if t.requires_grad:
+                    t._accumulate(np.squeeze(g, axis=axis))
+        out._backward = _backward
+    return out
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather with scatter-add backward — the core of Embedding layers."""
+    table = as_tensor(table)
+    indices = np.asarray(indices, dtype=np.int64)
+    out = table._make_child(table.data[indices], (table,))
+    if out.requires_grad:
+        shape = table.shape
+
+        def _backward(grad):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, indices, grad)
+            table._accumulate(full)
+        out._backward = _backward
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    x = as_tensor(x)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    out = x._make_child(x.data * mask, (x,))
+    if out.requires_grad:
+        def _backward(grad):
+            x._accumulate(grad * mask)
+        out._backward = _backward
+    return out
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    x = as_tensor(x)
+    data = np.clip(x.data, low, high)
+    out = x._make_child(data, (x,))
+    if out.requires_grad:
+        mask = (x.data >= low) & (x.data <= high)
+
+        def _backward(grad):
+            x._accumulate(grad * mask)
+        out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out = a._make_child(np.where(condition, a.data, b.data), (a, b))
+    if out.requires_grad:
+        from .autograd import _unbroadcast
+
+        def _backward(grad):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad * condition, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad * (~condition), b.shape))
+        out._backward = _backward
+    return out
+
+
+def scatter_mean(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
+    """Mean-pool row vectors into ``num_groups`` buckets.
+
+    Empty buckets yield zero rows.  This is the readout primitive used for
+    subgraph embeddings (paper Eq. 9/10/12/13 with mean pooling).
+    """
+    values = as_tensor(values)
+    groups = np.asarray(groups, dtype=np.int64)
+    counts = np.bincount(groups, minlength=num_groups).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    sums = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+    np.add.at(sums, groups, values.data)
+    data = sums / safe_counts[:, None]
+    out = values._make_child(data, (values,))
+    if out.requires_grad:
+        def _backward(grad):
+            values._accumulate(grad[groups] / safe_counts[groups][:, None])
+        out._backward = _backward
+    return out
+
+
+def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
+    """Return a copy of ``base`` with ``base[indices] = rows`` (differentiable).
+
+    Gradient w.r.t. ``base`` flows through untouched rows only; gradient
+    w.r.t. ``rows`` through the replaced rows.  ``indices`` must be unique.
+    This is the in-graph memory write used by the DGNN memory updater.
+    """
+    base = as_tensor(base)
+    rows = as_tensor(rows)
+    indices = np.asarray(indices, dtype=np.int64)
+    if len(np.unique(indices)) != len(indices):
+        raise ValueError("scatter_rows requires unique indices")
+    data = base.data.copy()
+    data[indices] = rows.data
+    out = base._make_child(data, (base, rows))
+    if out.requires_grad:
+        def _backward(grad):
+            if base.requires_grad:
+                masked = grad.copy()
+                masked[indices] = 0.0
+                base._accumulate(masked)
+            if rows.requires_grad:
+                rows._accumulate(grad[indices])
+        out._backward = _backward
+    return out
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    norm_sq = (x * x).sum(axis=axis, keepdims=True)
+    return x * (norm_sq + eps) ** -0.5
+
+
+def pairwise_sq_dist(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise squared Euclidean distance between matching rows of a and b."""
+    diff = a - b
+    return (diff * diff).sum(axis=-1)
+
+
+def euclidean_distance(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """Row-wise Euclidean distance — the metric d(.) of paper Eq. 11/14."""
+    return sqrt(pairwise_sq_dist(a, b) + eps)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    an = l2_normalize(a, eps=eps)
+    bn = l2_normalize(b, eps=eps)
+    return (an * bn).sum(axis=-1)

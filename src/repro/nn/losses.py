@@ -1,0 +1,94 @@
+"""Loss functions used in CPDG and the baselines.
+
+* :func:`triplet_margin_loss` — paper Eq. 11 / Eq. 14 (temporal and
+  structural contrast) with Euclidean distance.
+* :func:`bce_with_logits` — the temporal link-prediction pretext (Eq. 16)
+  and all downstream binary objectives.
+* :func:`binary_cross_entropy` — probability-space variant for heads that
+  already apply a sigmoid (Eq. 15).
+* :func:`jsd_mutual_information_loss` — the GAN-style discriminator
+  objective used by the DGI and DDGCL baselines.
+* :func:`info_nce_loss` — extension objective benchmarked in the ablation
+  suite (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor, as_tensor
+
+__all__ = [
+    "triplet_margin_loss", "bce_with_logits", "binary_cross_entropy",
+    "jsd_mutual_information_loss", "info_nce_loss", "mse_loss",
+    "softplus",
+]
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    # softplus(x) = max(x, 0) + log1p(exp(-|x|))
+    return F.relu(x) + F.log(F.exp(-F.abs_(x)) + 1.0)
+
+
+def triplet_margin_loss(anchor: Tensor, positive: Tensor, negative: Tensor,
+                        margin: float = 1.0) -> Tensor:
+    """Paper Eq. 11/14: ``mean(max(d(a,p) - d(a,n) + margin, 0))``.
+
+    Distances are Euclidean, as the paper specifies.
+    """
+    d_pos = F.euclidean_distance(anchor, positive)
+    d_neg = F.euclidean_distance(anchor, negative)
+    return F.relu(d_pos - d_neg + margin).mean()
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy on logits, stable for large magnitudes."""
+    logits = as_tensor(logits)
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # max(x,0) - x*y + log(1 + exp(-|x|))
+    return (F.relu(logits) - logits * targets_t
+            + F.log(F.exp(-F.abs_(logits)) + 1.0)).mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray, eps: float = 1e-7) -> Tensor:
+    probs = F.clip(as_tensor(probs), eps, 1.0 - eps)
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    return -(targets_t * F.log(probs) + (1.0 - targets_t) * F.log(1.0 - probs)).mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def jsd_mutual_information_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Jensen-Shannon MI lower-bound objective (DGI-style discriminator).
+
+    Maximises ``E[log σ(pos)] + E[log(1 - σ(neg))]`` — returned negated as a
+    loss to minimise.
+    """
+    pos_term = softplus(-pos_scores).mean()
+    neg_term = softplus(neg_scores).mean()
+    return pos_term + neg_term
+
+
+def info_nce_loss(anchor: Tensor, positive: Tensor, negatives: Tensor,
+                  temperature: float = 0.2) -> Tensor:
+    """InfoNCE with cosine similarity.
+
+    ``anchor``/``positive``: (B, D); ``negatives``: (B, K, D).  Used by the
+    contrast-objective ablation bench.
+    """
+    a = F.l2_normalize(anchor)
+    p = F.l2_normalize(positive)
+    n = F.l2_normalize(negatives)
+    pos_sim = (a * p).sum(axis=-1, keepdims=True) * (1.0 / temperature)      # (B, 1)
+    batch, k = negatives.shape[0], negatives.shape[1]
+    neg_sim = (a.reshape(batch, 1, -1) * n).sum(axis=-1) * (1.0 / temperature)  # (B, K)
+    logits = F.concatenate([pos_sim, neg_sim], axis=1)                       # (B, 1+K)
+    log_probs = F.log_softmax(logits, axis=1)
+    return -log_probs[:, 0].mean()

@@ -1,0 +1,84 @@
+"""Learning-rate schedulers.
+
+The paper grid-searches a fixed learning rate (§V-C); schedulers are
+provided for downstream users who fine-tune on larger streams, mirroring
+the ``torch.optim.lr_scheduler`` API shape: construct over an optimizer,
+call :meth:`step` once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "LinearWarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmupLR(LRScheduler):
+    """Linear ramp from 0 to the base rate over ``warmup_epochs``, then flat."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        # Start cold: apply the epoch-0 rate immediately.
+        self.optimizer.lr = self.base_lr / warmup_epochs
+
+    def get_lr(self) -> float:
+        scale = min(self.epoch + 1, self.warmup_epochs) / self.warmup_epochs
+        return self.base_lr * scale

@@ -1,0 +1,50 @@
+"""Model persistence: save/load module parameters (and optimizer state).
+
+Uses ``numpy.savez_compressed`` so checkpoints are portable single files
+with no pickle involved (arrays only, keys are the dotted parameter
+names).  Pre-training results (parameters + memory + EIE checkpoints) are
+persisted by :func:`save_pretrain_result` / :func:`load_pretrain_result`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module", "save_arrays", "load_arrays"]
+
+_MEMORY_PREFIX = "__memory__/"
+
+
+def save_module(module: Module, path: str) -> None:
+    """Write all module parameters to ``path`` (.npz)."""
+    state = module.state_dict()
+    _ensure_parent(path)
+    np.savez_compressed(path, **state)
+
+
+def load_module(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as payload:
+        state = {key: payload[key] for key in payload.files}
+    module.load_state_dict(state)
+
+
+def save_arrays(path: str, arrays: dict[str, np.ndarray]) -> None:
+    """Persist a flat dict of arrays (memory states, checkpoints...)."""
+    _ensure_parent(path)
+    np.savez_compressed(path, **arrays)
+
+
+def load_arrays(path: str) -> dict[str, np.ndarray]:
+    with np.load(path) as payload:
+        return {key: payload[key] for key in payload.files}
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

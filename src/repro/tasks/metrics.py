@@ -1,0 +1,74 @@
+"""Evaluation metrics — AUC and Average Precision, implemented from scratch.
+
+The environment has no scikit-learn; both metrics follow the standard
+definitions (AUC via the Mann-Whitney U statistic with average ranks for
+ties; AP as precision-weighted recall increments over the ranked list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc_score", "average_precision_score", "accuracy_score"]
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties sharing the average rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            avg = 0.5 * (i + 1 + j + 1)
+            ranks[order[i:j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via rank statistics.
+
+    Raises ``ValueError`` when only one class is present, matching
+    scikit-learn behaviour.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must align")
+    n_pos = int((labels == 1).sum())
+    n_neg = int((labels == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+    ranks = _average_ranks(scores)
+    rank_sum = ranks[labels == 1].sum()
+    u_stat = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u_stat / (n_pos * n_neg))
+
+
+def average_precision_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision: AP = Σ (R_k - R_{k-1}) · P_k over the ranked list."""
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must align")
+    n_pos = int((labels == 1).sum())
+    if n_pos == 0:
+        raise ValueError("average_precision_score needs at least one positive")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    true_positives = np.cumsum(sorted_labels)
+    precision = true_positives / np.arange(1, len(labels) + 1)
+    return float((precision * sorted_labels).sum() / n_pos)
+
+
+def accuracy_score(labels: np.ndarray, scores: np.ndarray,
+                   threshold: float = 0.5) -> float:
+    """Thresholded binary accuracy (auxiliary diagnostic)."""
+    labels = np.asarray(labels)
+    predictions = (np.asarray(scores) >= threshold).astype(labels.dtype)
+    return float((predictions == labels).mean())

@@ -1,0 +1,82 @@
+"""Ranking metrics for link prediction: MRR, Recall@K, Hits@K.
+
+The paper reports AUC/AP; recommendation practitioners (the paper's
+motivating deployment) usually also track ranked-retrieval metrics.
+:func:`rank_destinations` scores one positive destination against a
+candidate set and the metrics summarise the resulting ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RankingMetrics", "reciprocal_ranks", "mean_reciprocal_rank",
+           "recall_at_k", "hits_at_k", "summarize_ranks"]
+
+
+def reciprocal_ranks(positive_scores: np.ndarray,
+                     negative_scores: np.ndarray) -> np.ndarray:
+    """1/rank of each positive among its own negatives.
+
+    ``positive_scores``: shape (B,); ``negative_scores``: shape (B, K).
+    Ties count against the positive (pessimistic rank), so a constant
+    scorer does not get credit.
+    """
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if negative_scores.ndim != 2 or len(positive_scores) != len(negative_scores):
+        raise ValueError("expected (B,) positives against (B, K) negatives")
+    better = (negative_scores >= positive_scores[:, None]).sum(axis=1)
+    ranks = better + 1
+    return 1.0 / ranks
+
+
+def mean_reciprocal_rank(positive_scores: np.ndarray,
+                         negative_scores: np.ndarray) -> float:
+    return float(reciprocal_ranks(positive_scores, negative_scores).mean())
+
+
+def hits_at_k(positive_scores: np.ndarray, negative_scores: np.ndarray,
+              k: int) -> float:
+    """Fraction of positives ranked within the top ``k``."""
+    rr = reciprocal_ranks(positive_scores, negative_scores)
+    ranks = np.round(1.0 / rr).astype(int)
+    return float((ranks <= k).mean())
+
+
+def recall_at_k(positive_scores: np.ndarray, negative_scores: np.ndarray,
+                k: int) -> float:
+    """With one positive per query, recall@k equals hits@k."""
+    return hits_at_k(positive_scores, negative_scores, k)
+
+
+@dataclass
+class RankingMetrics:
+    """MRR plus hits at the conventional cutoffs."""
+
+    mrr: float
+    hits_at_1: float
+    hits_at_5: float
+    hits_at_10: float
+    num_queries: int
+
+    def as_row(self) -> dict:
+        return {"MRR": round(self.mrr, 4),
+                "Hits@1": round(self.hits_at_1, 4),
+                "Hits@5": round(self.hits_at_5, 4),
+                "Hits@10": round(self.hits_at_10, 4),
+                "n": self.num_queries}
+
+
+def summarize_ranks(positive_scores: np.ndarray,
+                    negative_scores: np.ndarray) -> RankingMetrics:
+    """Compute the standard ranking summary in one pass."""
+    return RankingMetrics(
+        mrr=mean_reciprocal_rank(positive_scores, negative_scores),
+        hits_at_1=hits_at_k(positive_scores, negative_scores, 1),
+        hits_at_5=hits_at_k(positive_scores, negative_scores, 5),
+        hits_at_10=hits_at_k(positive_scores, negative_scores, 10),
+        num_queries=len(positive_scores),
+    )

@@ -1,0 +1,248 @@
+"""Unit tests for dataset generators, universes and transfer splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DEFAULT_SPLIT_TIME, LABELED_DATASETS, SMALL,
+                            BipartiteInteractionGenerator, DatasetScale,
+                            FieldedUniverse, FieldSpec, InteractionConfig,
+                            LabeledConfig, LabeledInteractionGenerator,
+                            TransferSetting, amazon_universe, gowalla_universe,
+                            labeled_stream, make_transfer_split,
+                            meituan_stream, node_classification_split,
+                            split_downstream)
+
+
+def small_config(**kwargs):
+    defaults = dict(num_users=15, num_items=10, num_events=150,
+                    time_span=20.0, candidate_size=8)
+    defaults.update(kwargs)
+    return InteractionConfig(**defaults)
+
+
+class TestGenerator:
+    def test_determinism(self):
+        a = BipartiteInteractionGenerator(small_config(), seed=3).generate()
+        b = BipartiteInteractionGenerator(small_config(), seed=3).generate()
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.dst, b.dst)
+        np.testing.assert_allclose(a.timestamps, b.timestamps)
+
+    def test_different_seeds_differ(self):
+        a = BipartiteInteractionGenerator(small_config(), seed=3).generate()
+        b = BipartiteInteractionGenerator(small_config(), seed=4).generate()
+        assert not np.array_equal(a.dst, b.dst)
+
+    def test_bipartite_id_ranges(self):
+        stream = BipartiteInteractionGenerator(small_config(), seed=0).generate()
+        assert stream.src.max() < 15
+        assert stream.dst.min() >= 15
+        assert stream.dst.max() < 25
+
+    def test_timestamps_sorted_in_span(self):
+        stream = BipartiteInteractionGenerator(small_config(), seed=0).generate()
+        assert (np.diff(stream.timestamps) >= 0).all()
+        assert stream.t_min >= 0.0
+        assert stream.t_max < 20.0
+
+    def test_edge_features_shape(self):
+        stream = BipartiteInteractionGenerator(
+            small_config(edge_feat_dim=6), seed=0).generate()
+        assert stream.edge_feats.shape == (150, 6)
+
+    def test_edge_features_disabled(self):
+        stream = BipartiteInteractionGenerator(
+            small_config(edge_feat_dim=0), seed=0).generate()
+        assert stream.edge_feats is None
+
+    def test_preference_drives_item_choice(self):
+        """With a strong preference term, users concentrate on few items."""
+        concentrated = BipartiteInteractionGenerator(
+            small_config(preference_scale=8.0, burst_strength=0.0), seed=1
+        ).generate()
+        uniform = BipartiteInteractionGenerator(
+            small_config(preference_scale=0.0, burst_strength=0.0), seed=1
+        ).generate()
+
+        def mean_user_entropy(stream):
+            entropies = []
+            for user in range(15):
+                items = stream.dst[stream.src == user]
+                if len(items) < 5:
+                    continue
+                _, counts = np.unique(items, return_counts=True)
+                p = counts / counts.sum()
+                entropies.append(-(p * np.log(p)).sum())
+            return np.mean(entropies)
+
+        assert mean_user_entropy(concentrated) < mean_user_entropy(uniform)
+
+    def test_bursts_shift_interactions_into_window(self):
+        """A strong burst should lift an item's share inside its window."""
+        config = small_config(num_events=600, burst_rate=0.0,
+                              burst_strength=0.0, time_span=50.0)
+        gen = BipartiteInteractionGenerator(config, seed=5)
+        # Inject one huge burst manually for item 0.
+        gen.bursts = [(0, 10.0, 20.0, 50.0)]
+        stream = gen.generate()
+        items = stream.dst - 15
+        in_window = (stream.timestamps >= 10.0) & (stream.timestamps < 20.0)
+        share_in = (items[in_window] == 0).mean()
+        share_out = (items[~in_window] == 0).mean()
+        assert share_in > share_out + 0.2
+
+
+class TestSharedUsers:
+    def test_universe_shares_user_latents(self):
+        uni = amazon_universe(SMALL)
+        s1 = uni.stream("beauty")
+        s2 = uni.stream("luxury")
+        # Streams use disjoint item id blocks but the same user block.
+        assert set(s1.src.tolist()) <= set(range(uni.num_users))
+        assert set(s2.src.tolist()) <= set(range(uni.num_users))
+        assert set(s1.dst.tolist()).isdisjoint(set(s2.dst.tolist()))
+
+    def test_item_offsets_tile_id_space(self):
+        uni = gowalla_universe(SMALL)
+        offsets = [uni.item_offset(f) for f in uni.field_names()]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == uni.num_users
+        assert uni.num_nodes == uni.num_users + 3 * uni.items_per_field
+
+    def test_unknown_field_raises(self):
+        uni = amazon_universe(SMALL)
+        with pytest.raises(KeyError):
+            uni.stream("nonexistent")
+
+    def test_stream_caching(self):
+        uni = amazon_universe(SMALL)
+        assert uni.stream("beauty") is uni.stream("beauty")
+
+    def test_shared_users_mismatch_rejected(self):
+        from repro.datasets import SharedUsers
+        bad = SharedUsers(community=np.zeros(3, dtype=int),
+                          pref=np.zeros((3, 2)), activity=np.ones(3) / 3)
+        with pytest.raises(ValueError):
+            BipartiteInteractionGenerator(small_config(), seed=0,
+                                          shared_users=bad)
+
+
+class TestLabeledGenerator:
+    def test_labels_present_and_binary(self):
+        stream = labeled_stream("mooc", SMALL)
+        assert stream.labels is not None
+        assert set(np.unique(stream.labels)) <= {0, 1}
+
+    def test_absorbing_mode_is_monotone_per_user(self):
+        """With recovery disabled, a flip is permanent (ban semantics)."""
+        base = InteractionConfig(num_users=20, num_items=12, num_events=400,
+                                 time_span=30.0, candidate_size=8)
+        config = LabeledConfig(base=base, deviant_fraction=0.3,
+                               threshold_mean=2.0, susceptible_fraction=0.6,
+                               recovery_factor=None)
+        stream = LabeledInteractionGenerator(config, seed=3).generate()
+        for user in np.unique(stream.src):
+            user_labels = stream.labels[stream.src == user]
+            assert (np.diff(user_labels) >= 0).all()
+
+    def test_default_mode_allows_recovery(self):
+        """With recovery on, at least one user returns to the negative
+        state — labels track recent behaviour, not node identity."""
+        stream = labeled_stream("wikipedia", SMALL)
+        recovered = False
+        for user in np.unique(stream.src):
+            user_labels = stream.labels[stream.src == user]
+            if (np.diff(user_labels) < 0).any():
+                recovered = True
+                break
+        assert recovered
+
+    def test_metadata_records_process(self):
+        stream = labeled_stream("reddit", SMALL)
+        assert "deviant_items" in stream.metadata
+        assert 0.0 <= stream.metadata["positive_rate"] <= 1.0
+
+    def test_all_registered_datasets_have_positives(self):
+        for name in LABELED_DATASETS:
+            stream = labeled_stream(name, SMALL)
+            assert stream.labels.sum() > 0, name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            labeled_stream("imaginary", SMALL)
+
+
+class TestRegistry:
+    def test_meituan_span(self):
+        stream = meituan_stream(SMALL)
+        assert stream.t_max <= 42.0
+
+    def test_scale_reduces_events(self):
+        big = amazon_universe().stream("beauty")
+        small = amazon_universe(SMALL).stream("beauty")
+        assert small.num_events < big.num_events
+
+    def test_dataset_scale_scaled(self):
+        scaled = DatasetScale().scaled(0.5)
+        assert scaled.num_users == 50
+        assert scaled.events_main == 1300
+
+    def test_registry_reproducibility(self):
+        a = meituan_stream(SMALL)
+        b = meituan_stream(SMALL)
+        np.testing.assert_array_equal(a.dst, b.dst)
+
+
+class TestTransferSplits:
+    def test_time_transfer_boundaries(self):
+        uni = amazon_universe(SMALL)
+        split = make_transfer_split("time", uni.stream("beauty"),
+                                    uni.stream("arts"), DEFAULT_SPLIT_TIME)
+        assert split.pretrain.t_max < DEFAULT_SPLIT_TIME
+        assert split.downstream.train.t_min >= DEFAULT_SPLIT_TIME
+
+    def test_field_transfer_uses_source_downstream_range(self):
+        uni = amazon_universe(SMALL)
+        split = make_transfer_split("field", uni.stream("beauty"),
+                                    uni.stream("arts"), DEFAULT_SPLIT_TIME)
+        # Pre-training comes from the arts item block.
+        arts_offset = uni.item_offset("arts")
+        assert (split.pretrain.dst >= arts_offset).all()
+        assert split.pretrain.t_min >= DEFAULT_SPLIT_TIME
+
+    def test_time_field_transfer_uses_source_history(self):
+        uni = amazon_universe(SMALL)
+        split = make_transfer_split("time+field", uni.stream("beauty"),
+                                    uni.stream("arts"), DEFAULT_SPLIT_TIME)
+        arts_offset = uni.item_offset("arts")
+        assert (split.pretrain.dst >= arts_offset).all()
+        assert split.pretrain.t_max < DEFAULT_SPLIT_TIME
+
+    def test_field_transfer_requires_source(self):
+        uni = amazon_universe(SMALL)
+        with pytest.raises(ValueError):
+            make_transfer_split("field", uni.stream("beauty"), None,
+                                DEFAULT_SPLIT_TIME)
+
+    def test_downstream_split_chronological(self):
+        uni = amazon_universe(SMALL)
+        split = make_transfer_split("time", uni.stream("beauty"),
+                                    None, DEFAULT_SPLIT_TIME)
+        down = split.downstream
+        assert down.train.t_max <= down.val.t_min + 1e-9
+        assert down.val.t_max <= down.test.t_min + 1e-9
+
+    def test_setting_enum_accepts_strings(self):
+        assert TransferSetting("time") is TransferSetting.TIME
+        assert TransferSetting("time+field") is TransferSetting.TIME_FIELD
+
+    def test_node_classification_split_ratios(self):
+        stream = labeled_stream("wikipedia", SMALL)
+        pretrain, down = node_classification_split(stream)
+        total = stream.num_events
+        assert pretrain.num_events == pytest.approx(0.6 * total, abs=2)
+        assert down.train.num_events == pytest.approx(0.2 * total, abs=2)
+        assert down.val.num_events == pytest.approx(0.1 * total, abs=2)
+        assert down.test.num_events == pytest.approx(0.1 * total, abs=2)

@@ -1,0 +1,136 @@
+"""Integration tests for the experiment runners (tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (EXPERIMENTS, SCALES, Cell, ExperimentResult,
+                               PretrainCache, aggregate, run_experiment)
+
+
+class TestPlumbing:
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {"table4", "table5_6", "table7", "table8", "table9",
+                    "table10", "table11", "figure5", "figure6", "figure7",
+                    "figure8", "ablations"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_scales_defined(self):
+        assert {"tiny", "default", "full"} <= set(SCALES)
+
+    def test_aggregate_mean_std(self):
+        cell = aggregate([0.5, 0.7])
+        assert cell.mean == pytest.approx(0.6)
+        assert cell.std == pytest.approx(0.1)
+        assert cell.n_seeds == 2
+        assert "±" in str(cell)
+
+    def test_aggregate_handles_nan(self):
+        cell = aggregate([0.5, float("nan")])
+        assert cell.mean == pytest.approx(0.5)
+
+    def test_result_table_and_lookup(self):
+        result = ExperimentResult(experiment="demo", columns=["a", "b"])
+        result.add_row(a="x", b=aggregate([1.0]))
+        table = result.format_table()
+        assert "demo" in table and "x" in table
+        assert result.cell("b", a="x").mean == 1.0
+        with pytest.raises(KeyError):
+            result.cell("b", a="missing")
+
+    def test_pretrain_cache_memoises(self):
+        cache = PretrainCache()
+        calls = []
+        cache.get(("k",), lambda: calls.append(1) or "v")
+        cache.get(("k",), lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+
+
+class TestRunnersTiny:
+    """Each runner must complete and emit the expected row structure."""
+
+    def test_dataset_stats(self):
+        result = run_experiment("table5_6", scale="tiny", verbose=False)
+        datasets = {row["dataset"] for row in result.rows}
+        assert "meituan" in datasets
+        assert any(d.startswith("amazon/") for d in datasets)
+        assert all(row["# Edges"] > 0 for row in result.rows)
+
+    def test_table4_orders_strategy_cost(self):
+        result = run_experiment("table4", scale="tiny", verbose=False)
+        times = {row["strategy"]: row["seconds/epoch"] for row in result.rows}
+        assert set(times) == {"full", "eie-mean", "eie-attn", "eie-gru"}
+        assert all(v > 0 for v in times.values())
+        # EIE-GRU fuses L checkpoints sequentially: strictly more work
+        # than plain full fine-tuning.
+        assert times["eie-gru"] > times["full"]
+
+    def test_table8_rows(self):
+        result = run_experiment("table8", scale="tiny",
+                                backbones=("jodie",), verbose=False)
+        methods = [row["method"] for row in result.rows]
+        assert methods == ["jodie", "cpdg(jodie)"]
+        for row in result.rows:
+            assert isinstance(row["AUC"], Cell)
+
+    def test_table7_slice(self):
+        result = run_experiment(
+            "table7", scale="tiny", settings=("time",),
+            methods=("tgn", "cpdg(tgn)"),
+            targets=(("amazon", "beauty", "arts"),), verbose=False)
+        assert len(result.rows) == 2
+        assert {row["method"] for row in result.rows} == {"tgn", "cpdg(tgn)"}
+
+    def test_table9_slice(self):
+        result = run_experiment("table9", scale="tiny",
+                                datasets=("mooc",),
+                                methods=("jodie", "cpdg(jodie)"),
+                                verbose=False)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert np.isnan(row["AUC"].mean) or 0.0 <= row["AUC"].mean <= 1.0
+
+    def test_table10_slice(self):
+        result = run_experiment(
+            "table10", scale="tiny",
+            targets=(("amazon", "beauty", "arts"),), verbose=False)
+        methods = [row["method"] for row in result.rows]
+        assert methods[0] == "No Pre-train"
+        assert "CPDG (T)" in methods
+        assert len(result.rows) == 4
+
+    def test_table11_strategies(self):
+        result = run_experiment("table11", scale="tiny", fields=("beauty",),
+                                verbose=False)
+        strategies = [row["strategy"] for row in result.rows]
+        assert strategies == ["Full", "EIE-mean", "EIE-attn", "EIE-GRU"]
+
+    def test_figure6_beta_series(self):
+        result = run_experiment("figure6", scale="tiny", fields=("beauty",),
+                                betas=(0.1, 0.9), verbose=False)
+        betas = [row["beta"] for row in result.rows]
+        assert betas == [0.1, 0.9]
+
+    def test_figure7_grid(self):
+        result = run_experiment("figure7", scale="tiny", widths=(2,),
+                                depths=(1, 2), verbose=False)
+        assert len(result.rows) == 2
+        assert {row["depth"] for row in result.rows} == {1, 2}
+
+    def test_figure8_lengths(self):
+        result = run_experiment("figure8", scale="tiny",
+                                datasets=("mooc",), lengths=(1, 3),
+                                verbose=False)
+        assert [row["L"] for row in result.rows] == [1, 3]
+
+    def test_figure5_variants(self):
+        result = run_experiment("figure5", scale="tiny", verbose=False)
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {"CPDG", "w/o TC", "w/o SC", "w/o EIE"}
+        datasets = {row["dataset"] for row in result.rows}
+        assert datasets == {"beauty", "luxury", "wikipedia", "reddit"}

@@ -1,0 +1,198 @@
+"""Tests for ranking metrics, TGAT, readout/objective variants and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (CPDGConfig, CPDGPreTrainer, StructuralContrast,
+                        TemporalContrast, subgraph_readout)
+from repro.datasets import split_downstream
+from repro.dgnn import TGATEncoder
+from repro.graph import NeighborFinder
+from repro.nn import Tensor
+from repro.tasks import (FineTuneConfig, FineTuneStrategy,
+                         LinkPredictionTask, build_finetuned_encoder,
+                         hits_at_k, mean_reciprocal_rank, reciprocal_ranks,
+                         summarize_ranks)
+
+
+class TestRankingMetrics:
+    def test_perfect_ranking(self):
+        pos = np.array([0.9, 0.8])
+        neg = np.array([[0.1, 0.2], [0.3, 0.1]])
+        assert mean_reciprocal_rank(pos, neg) == 1.0
+        assert hits_at_k(pos, neg, 1) == 1.0
+
+    def test_worst_ranking(self):
+        pos = np.array([0.1])
+        neg = np.array([[0.5, 0.6, 0.7]])
+        np.testing.assert_allclose(reciprocal_ranks(pos, neg), [0.25])
+        assert hits_at_k(pos, neg, 3) == 0.0
+        assert hits_at_k(pos, neg, 4) == 1.0
+
+    def test_ties_count_against_positive(self):
+        pos = np.array([0.5])
+        neg = np.array([[0.5, 0.1]])
+        np.testing.assert_allclose(reciprocal_ranks(pos, neg), [0.5])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reciprocal_ranks(np.ones(3), np.ones(3))
+
+    def test_summary_bundle(self):
+        pos = np.array([0.9, 0.05])
+        neg = np.tile(np.linspace(0.1, 0.8, 10), (2, 1))
+        summary = summarize_ranks(pos, neg)
+        assert summary.num_queries == 2
+        assert summary.mrr == pytest.approx((1.0 + 1 / 11) / 2)
+        assert summary.hits_at_1 == 0.5
+        row = summary.as_row()
+        assert {"MRR", "Hits@1", "Hits@5", "Hits@10", "n"} == set(row)
+
+    def test_task_ranking_evaluation(self, tiny_stream):
+        cfg = CPDGConfig(eta=3, epsilon=3, depth=1, epochs=1, batch_size=64,
+                         memory_dim=8, embed_dim=8, time_dim=4,
+                         n_neighbors=3, num_checkpoints=2, seed=0)
+        ft = FineTuneConfig(epochs=1, batch_size=64, patience=1, seed=0)
+        strat = build_finetuned_encoder("tgn", tiny_stream.num_nodes, cfg,
+                                        None, "none", ft)
+        task = LinkPredictionTask(strat, split_downstream(tiny_stream), ft)
+        task.train()
+        summary = task.evaluate_ranking(num_candidates=5)
+        assert 0.0 < summary.mrr <= 1.0
+        assert summary.num_queries == task.split.test.num_events
+
+
+class TestTGAT:
+    def test_embedding_shape_and_layers(self, tiny_stream, rng):
+        enc = TGATEncoder(tiny_stream.num_nodes, embed_dim=8, time_dim=4,
+                          num_heads=2, n_neighbors=3, n_layers=2, rng=rng,
+                          edge_dim=4)
+        enc.attach(tiny_stream)
+        z = enc.compute_embedding(np.array([0, 1]), np.full(2, 30.0))
+        assert z.shape == (2, 8)
+
+    def test_time_sensitivity(self, tiny_stream, rng):
+        enc = TGATEncoder(tiny_stream.num_nodes, embed_dim=8, time_dim=4,
+                          num_heads=1, n_neighbors=3, n_layers=1, rng=rng)
+        enc.attach(tiny_stream)
+        node = np.array([int(tiny_stream.src[20])])
+        z1 = enc.compute_embedding(node, np.array([tiny_stream.t_max])).data
+        z2 = enc.compute_embedding(node, np.array([tiny_stream.t_max + 30.0])).data
+        assert np.abs(z1 - z2).max() > 1e-9
+
+    def test_runs_through_link_prediction_task(self, tiny_stream, rng):
+        enc = TGATEncoder(tiny_stream.num_nodes, embed_dim=8, time_dim=4,
+                          num_heads=1, n_neighbors=3, n_layers=1, rng=rng)
+        ft = FineTuneConfig(epochs=1, batch_size=64, patience=1, seed=0)
+        strategy = FineTuneStrategy(name="tgat", encoder=enc, eie=None)
+        metrics = LinkPredictionTask(strategy, split_downstream(tiny_stream),
+                                     ft).run()
+        assert np.isfinite(metrics.auc)
+
+    def test_validates_layers(self, rng):
+        with pytest.raises(ValueError):
+            TGATEncoder(10, 8, 4, 1, 3, 0, rng)
+
+
+class TestReadoutVariants:
+    def test_max_readout(self):
+        memory = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0]]))
+        out = subgraph_readout(memory, [np.array([0, 1])], mode="max")
+        np.testing.assert_allclose(out.data, [[3.0, 5.0]])
+
+    def test_sum_readout(self):
+        memory = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        out = subgraph_readout(memory, [np.array([0, 1])], mode="sum")
+        np.testing.assert_allclose(out.data, [[4.0, 7.0]])
+
+    def test_max_readout_empty_subgraph(self):
+        memory = Tensor(np.ones((3, 2)))
+        out = subgraph_readout(memory, [np.array([], dtype=int),
+                                        np.array([1])], mode="max")
+        np.testing.assert_allclose(out.data[0], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[1], [1.0, 1.0])
+
+    def test_unknown_readout(self):
+        with pytest.raises(ValueError):
+            subgraph_readout(Tensor(np.ones((2, 2))), [np.array([0])],
+                             mode="median")
+
+    def test_readout_gradients(self, rng):
+        for mode in ("max", "sum"):
+            memory = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            out = subgraph_readout(memory, [np.array([0, 2]),
+                                            np.array([1])], mode=mode)
+            (out ** 2.0).sum().backward()
+            assert memory.grad is not None
+
+
+class TestObjectiveVariants:
+    def test_infonce_contrast_runs(self, tiny_stream, rng):
+        finder = NeighborFinder(tiny_stream)
+        contrast = TemporalContrast(finder, eta=3, depth=1, seed=0,
+                                    objective="infonce")
+        memory = Tensor(rng.normal(size=(tiny_stream.num_nodes, 8)),
+                        requires_grad=True)
+        z = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+        loss = contrast.loss(z, memory, tiny_stream.src[:6],
+                             tiny_stream.timestamps[:6] + 1.0)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert z.grad is not None
+
+    def test_unknown_objective_raises(self, tiny_stream, rng):
+        finder = NeighborFinder(tiny_stream)
+        contrast = StructuralContrast(finder, epsilon=3, depth=1, seed=0,
+                                      objective="margin-of-error")
+        memory = Tensor(rng.normal(size=(tiny_stream.num_nodes, 8)))
+        z = Tensor(rng.normal(size=(4, 8)))
+        with pytest.raises(ValueError):
+            contrast.loss(z, memory, tiny_stream.src[:4],
+                          tiny_stream.timestamps[:4] + 1.0,
+                          tiny_stream.num_nodes)
+
+    def test_pretrainer_with_infonce_and_max_readout(self, tiny_stream):
+        cfg = CPDGConfig(eta=3, epsilon=3, depth=1, epochs=1, batch_size=64,
+                         memory_dim=8, embed_dim=8, time_dim=4,
+                         n_neighbors=3, num_checkpoints=2, seed=0,
+                         objective="infonce", readout="max")
+        trainer = CPDGPreTrainer.from_backbone("tgn", tiny_stream.num_nodes,
+                                               cfg)
+        result = trainer.pretrain(tiny_stream)
+        history = np.array(result.loss_history)
+        assert np.isfinite(history).all()
+
+    def test_config_validates_objective(self):
+        with pytest.raises(ValueError):
+            CPDGConfig(objective="nce2").validate()
+        with pytest.raises(ValueError):
+            CPDGConfig(readout="median").validate()
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "ablations" in out
+
+    def test_profile_command(self, capsys):
+        from repro.__main__ import main
+        assert main(["profile", "wikipedia"]) == 0
+        out = capsys.readouterr().out
+        assert "burstiness" in out
+
+    def test_profile_unknown_dataset(self, capsys):
+        from repro.__main__ import main
+        assert main(["profile", "nope"]) == 2
+
+    def test_run_command_writes_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out_path = str(tmp_path / "table.txt")
+        code = main(["run", "table5_6", "--scale", "tiny", "--quiet",
+                     "--out", out_path])
+        assert code == 0
+        with open(out_path) as fh:
+            assert "dataset statistics" in fh.read()

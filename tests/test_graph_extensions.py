@@ -1,0 +1,138 @@
+"""Tests for stream analytics (repro.graph.analysis) and IO (repro.graph.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (EventStream, burstiness, degree_distribution,
+                         inter_event_times, load_npz, read_jodie_csv,
+                         recency_gini, repeat_interaction_rate, save_npz,
+                         temporal_profile, write_jodie_csv)
+
+
+def regular_stream(n=50):
+    return EventStream(src=[0] * n, dst=[1] * n,
+                       timestamps=np.arange(n, dtype=float), num_nodes=2)
+
+
+def bursty_stream():
+    # 40 events packed into [0, 1), then 2 stragglers far out.
+    ts = np.concatenate([np.linspace(0, 1, 40), [50.0, 100.0]])
+    return EventStream(src=[0] * 42, dst=[1] * 42, timestamps=ts, num_nodes=2)
+
+
+class TestAnalysis:
+    def test_inter_event_times(self):
+        gaps = inter_event_times(regular_stream(5))
+        np.testing.assert_allclose(gaps, np.ones(4))
+
+    def test_inter_event_times_single_event(self):
+        stream = EventStream(src=[0], dst=[1], timestamps=[0.0], num_nodes=2)
+        assert len(inter_event_times(stream)) == 0
+
+    def test_burstiness_regular_is_negative_one(self):
+        assert burstiness(regular_stream()) == pytest.approx(-1.0)
+
+    def test_burstiness_bursty_is_positive(self):
+        assert burstiness(bursty_stream()) > 0.3
+
+    def test_degree_distribution_counts_both_endpoints(self):
+        stream = EventStream(src=[0, 0], dst=[1, 2], timestamps=[0.0, 1.0],
+                             num_nodes=4)
+        degrees = degree_distribution(stream)
+        assert degrees.tolist() == [2, 1, 1, 0]
+
+    def test_recency_gini_uniform_low_concentrated_high(self):
+        uniform = regular_stream(200)
+        assert recency_gini(uniform) < 0.1
+        concentrated = bursty_stream()
+        assert recency_gini(concentrated) > recency_gini(uniform)
+
+    def test_repeat_rate(self):
+        stream = EventStream(src=[0, 0, 0], dst=[1, 1, 2],
+                             timestamps=[0.0, 1.0, 2.0], num_nodes=3)
+        assert repeat_interaction_rate(stream) == pytest.approx(1 / 3)
+
+    def test_repeat_rate_undirected(self):
+        stream = EventStream(src=[0, 1], dst=[1, 0], timestamps=[0.0, 1.0],
+                             num_nodes=2)
+        assert repeat_interaction_rate(stream) == pytest.approx(0.5)
+
+    def test_profile_fields(self, tiny_stream):
+        profile = temporal_profile(tiny_stream)
+        assert profile.num_events == tiny_stream.num_events
+        assert profile.num_active_nodes <= tiny_stream.num_nodes
+        assert -1.0 <= profile.burstiness <= 1.0
+        assert 0.0 <= profile.repeat_rate <= 1.0
+        row = profile.as_row()
+        assert {"events", "nodes", "burstiness", "repeat rate"} <= set(row)
+
+
+class TestJodieCSV:
+    def test_roundtrip(self, tiny_labeled_stream, tmp_path):
+        path = str(tmp_path / "stream.csv")
+        write_jodie_csv(tiny_labeled_stream, path)
+        loaded = read_jodie_csv(path)
+        assert loaded.num_events == tiny_labeled_stream.num_events
+        np.testing.assert_array_equal(loaded.src, tiny_labeled_stream.src)
+        np.testing.assert_allclose(loaded.timestamps,
+                                   tiny_labeled_stream.timestamps)
+        np.testing.assert_array_equal(loaded.labels,
+                                      tiny_labeled_stream.labels)
+        np.testing.assert_allclose(loaded.edge_feats,
+                                   tiny_labeled_stream.edge_feats, rtol=1e-9)
+
+    def test_item_offset_restored(self, tiny_labeled_stream, tmp_path):
+        path = str(tmp_path / "stream.csv")
+        write_jodie_csv(tiny_labeled_stream, path)
+        loaded = read_jodie_csv(path)
+        num_users = loaded.metadata["num_users"]
+        assert (loaded.dst >= num_users).all()
+        assert (loaded.src < num_users).all()
+
+    def test_read_plain_csv_without_features(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("user_id,item_id,timestamp,state_label\n"
+                        "0,0,1.0,0\n1,1,2.0,1\n0,1,3.0,0\n")
+        stream = read_jodie_csv(str(path))
+        assert stream.num_events == 3
+        assert stream.edge_feats is None
+        assert stream.labels.tolist() == [0, 1, 0]
+        assert stream.num_nodes == 4   # 2 users + 2 items
+
+    def test_read_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("user_id,item_id,timestamp,state_label\n")
+        with pytest.raises(ValueError):
+            read_jodie_csv(str(path))
+
+    def test_write_requires_num_users(self, tmp_path):
+        stream = EventStream(src=[0], dst=[1], timestamps=[0.0], num_nodes=2)
+        with pytest.raises(ValueError):
+            write_jodie_csv(stream, str(tmp_path / "x.csv"))
+
+
+class TestNpz:
+    def test_roundtrip_with_labels_and_features(self, tiny_labeled_stream,
+                                                tmp_path):
+        path = str(tmp_path / "stream.npz")
+        save_npz(tiny_labeled_stream, path)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.src, tiny_labeled_stream.src)
+        np.testing.assert_array_equal(loaded.dst, tiny_labeled_stream.dst)
+        np.testing.assert_allclose(loaded.timestamps,
+                                   tiny_labeled_stream.timestamps)
+        np.testing.assert_array_equal(loaded.labels,
+                                      tiny_labeled_stream.labels)
+        assert loaded.num_nodes == tiny_labeled_stream.num_nodes
+
+    def test_roundtrip_minimal_stream(self, tmp_path):
+        stream = EventStream(src=[0, 1], dst=[2, 2],
+                             timestamps=[0.0, 1.0], num_nodes=3)
+        path = str(tmp_path / "minimal.npz")
+        save_npz(stream, path)
+        loaded = load_npz(path)
+        assert loaded.edge_feats is None
+        assert loaded.labels is None
+        assert loaded.num_events == 2

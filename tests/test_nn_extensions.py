@@ -1,0 +1,162 @@
+"""Tests for schedulers, extra optimizers, serialization and gradcheck."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, AdaGrad, Adam, CosineAnnealingLR, GradCheckError,
+                      LinearWarmupLR, Linear, Parameter, RMSprop, SGD, StepLR,
+                      Tensor, check_gradients, load_arrays, load_module,
+                      numeric_gradient, save_arrays, save_module)
+from repro.nn import functional as F
+
+
+class TestSchedulers:
+    def make_opt(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr_decays_at_boundaries(self):
+        opt = self.make_opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        rates = [sched.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            StepLR(self.make_opt(), step_size=0)
+
+    def test_cosine_reaches_min(self):
+        opt = self.make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.1)
+
+    def test_cosine_is_monotone_decreasing(self):
+        opt = self.make_opt()
+        sched = CosineAnnealingLR(opt, t_max=8)
+        rates = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_cosine_clamps_past_t_max(self):
+        opt = self.make_opt()
+        sched = CosineAnnealingLR(opt, t_max=3, min_lr=0.2)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.2)
+
+    def test_warmup_ramps_then_flat(self):
+        opt = self.make_opt()
+        sched = LinearWarmupLR(opt, warmup_epochs=4)
+        assert opt.lr == pytest.approx(0.25)
+        rates = [sched.step() for _ in range(6)]
+        assert rates[:3] == pytest.approx([0.5, 0.75, 1.0])
+        assert rates[-1] == pytest.approx(1.0)
+
+    def test_scheduler_updates_optimizer_in_place(self):
+        opt = self.make_opt()
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestExtraOptimizers:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (RMSprop, dict(lr=0.05)),
+        (AdaGrad, dict(lr=0.5)),
+    ])
+    def test_converges_on_quadratic(self, opt_cls, kwargs):
+        p = Parameter(np.array([4.0, -2.0]))
+        opt = opt_cls([p], **kwargs)
+        for _ in range(500):
+            opt.zero_grad()
+            (p ** 2.0).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.zeros(2), atol=1e-2)
+
+    def test_rmsprop_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = RMSprop([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_adagrad_rate_decays_over_steps(self):
+        p = Parameter(np.array([10.0]))
+        opt = AdaGrad([p], lr=1.0)
+        deltas = []
+        for _ in range(3):
+            before = p.data.copy()
+            opt.zero_grad()
+            (p * 2.0).sum().backward()   # constant gradient
+            opt.step()
+            deltas.append(abs(float((p.data - before)[0])))
+        assert deltas[0] > deltas[1] > deltas[2]
+
+
+class TestSerialization:
+    def test_module_roundtrip(self, rng, tmp_path):
+        a = MLP([4, 8, 2], rng)
+        b = MLP([4, 8, 2], np.random.default_rng(777))
+        path = str(tmp_path / "model.npz")
+        save_module(a, path)
+        load_module(b, path)
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_load_rejects_wrong_architecture(self, rng, tmp_path):
+        a = MLP([4, 8, 2], rng)
+        wrong = MLP([4, 6, 2], rng)
+        path = str(tmp_path / "model.npz")
+        save_module(a, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)
+
+    def test_array_dict_roundtrip(self, rng, tmp_path):
+        arrays = {"memory": rng.normal(size=(5, 3)),
+                  "last_update": rng.random(5)}
+        path = str(tmp_path / "state.npz")
+        save_arrays(path, arrays)
+        loaded = load_arrays(path)
+        assert set(loaded) == set(arrays)
+        np.testing.assert_allclose(loaded["memory"], arrays["memory"])
+
+    def test_save_creates_parent_dirs(self, rng, tmp_path):
+        path = str(tmp_path / "nested" / "deep" / "model.npz")
+        save_module(Linear(2, 2, rng), path)
+        import os
+        assert os.path.exists(path)
+
+
+class TestGradcheck:
+    def test_passes_on_correct_gradients(self, rng):
+        w = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        x = rng.normal(size=(4, 3))
+        check_gradients(lambda: (F.tanh(Tensor(x) @ w) ** 2.0).sum(), [w])
+
+    def test_accepts_module(self, rng):
+        mlp = MLP([3, 4, 1], rng)
+        x = Tensor(rng.normal(size=(5, 3)))
+        check_gradients(lambda: (mlp(x) ** 2.0).sum(), mlp)
+
+    def test_detects_wrong_gradient(self, rng):
+        """A backward that lies about its gradient must be caught."""
+        w = Tensor(rng.normal(size=4), requires_grad=True)
+
+        def buggy_loss():
+            out = w._make_child(w.data * 3.0, (w,))
+
+            def _backward(grad):
+                w._accumulate(grad * 2.0)   # should be * 3.0
+            out._backward = _backward
+            return out.sum()
+
+        with pytest.raises(GradCheckError):
+            check_gradients(buggy_loss, [w])
+
+    def test_numeric_gradient_linear_function(self):
+        x = np.array([1.0, 2.0])
+        grad = numeric_gradient(lambda: float(3.0 * x[0] - 2.0 * x[1]), x)
+        np.testing.assert_allclose(grad, [3.0, -2.0], atol=1e-6)
