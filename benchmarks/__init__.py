@@ -1,0 +1,1 @@
+"""Benchmark package — lets bench modules use ``from .conftest import ...``."""

@@ -6,50 +6,54 @@ to flag at-risk students *at interaction time* from their dynamic
 embedding.  We pre-train CPDG on unlabeled early history (labels are never
 used during pre-training) and fine-tune a classifier on the later,
 labelled portion, comparing the three DGNN backbones with and without
-CPDG pre-training.
+CPDG pre-training — each arm a two-line :class:`repro.api.Pipeline` run.
 
 Run:  python examples/churn_detection.py
 """
 
-from repro.core import CPDGConfig, CPDGPreTrainer
-from repro.datasets import (DatasetScale, labeled_stream,
-                            node_classification_split)
-from repro.tasks import (FineTuneConfig, NodeClassificationTask,
-                         build_finetuned_encoder)
+from dataclasses import replace
+
+from repro.api import DataConfig, Pipeline, RunConfig, resolve_data
+from repro.core import CPDGConfig
+from repro.tasks import FineTuneConfig
 
 
 def main() -> None:
-    stream = labeled_stream("mooc", DatasetScale(num_users=70, num_items=40,
-                                                 events_labeled=1800))
-    print(f"stream: {stream.num_events} events, "
-          f"positive rate {stream.metadata['positive_rate']:.1%}, "
-          f"{stream.metadata['flipped_users']} students drop out")
+    config = RunConfig(
+        task="node_classification",
+        strategy="eie-gru",
+        # Paper §V-A: 6:2:1:1 chronological split = pre-train on the first
+        # 60%, then 2:1:1 (0.5/0.25/0.25) over the labelled remainder.
+        data=DataConfig(dataset="mooc", num_users=70, num_items=40,
+                        events_labeled=1800, pretrain_fraction=0.6,
+                        train_fraction=0.5, val_fraction=0.25,
+                        test_fraction=0.25),
+        pretrain=CPDGConfig(eta=8, epsilon=8, depth=2, epochs=3,
+                            batch_size=150, memory_dim=32, embed_dim=32,
+                            num_checkpoints=10, seed=0),
+        finetune=FineTuneConfig(epochs=5, batch_size=150, patience=3, seed=0),
+    )
 
-    # Paper §V-A: 6:2:1:1 chronological split.
-    pretrain_stream, downstream = node_classification_split(stream)
-    print(f"pre-train {pretrain_stream.num_events} / "
-          f"train {downstream.train.num_events} / "
-          f"val {downstream.val.num_events} / "
-          f"test {downstream.test.num_events}\n")
-
-    config = CPDGConfig(eta=8, epsilon=8, depth=2, epochs=3, batch_size=150,
-                        memory_dim=32, embed_dim=32, num_checkpoints=10,
-                        seed=0)
-    finetune = FineTuneConfig(epochs=5, batch_size=150, patience=3, seed=0)
+    # Resolve the dataset once; every arm below reuses the same streams.
+    data = resolve_data(config.data)
+    stream_meta = data.pretrain.metadata
+    print(f"pre-train {data.pretrain.num_events} / "
+          f"train {data.downstream.train.num_events} / "
+          f"val {data.downstream.val.num_events} / "
+          f"test {data.downstream.test.num_events} events "
+          f"({stream_meta['flipped_users']} students drop out)\n")
 
     print(f"{'backbone':8s} {'scratch AUC':>12s} {'CPDG AUC':>12s} {'gain':>8s}")
     for backbone in ("jodie", "dyrep", "tgn"):
-        scratch = build_finetuned_encoder(backbone, stream.num_nodes, config,
-                                          None, "none", finetune)
-        base = NodeClassificationTask(scratch, downstream, finetune).run()
-
-        trainer = CPDGPreTrainer.from_backbone(backbone, stream.num_nodes,
-                                               config)
-        pretrained = trainer.pretrain(pretrain_stream)
-        enhanced = build_finetuned_encoder(backbone, stream.num_nodes, config,
-                                           pretrained, "eie-gru", finetune)
-        cpdg = NodeClassificationTask(enhanced, downstream, finetune).run()
-
+        cfg = replace(config, backbone=backbone)
+        base = (Pipeline(cfg)
+                .finetune(split=data.downstream, strategy="none",
+                          num_nodes=data.num_nodes)
+                .evaluate())
+        cpdg = (Pipeline(cfg)
+                .pretrain(data.pretrain)
+                .finetune(split=data.downstream)
+                .evaluate())
         gain = (cpdg.auc - base.auc) / base.auc
         print(f"{backbone:8s} {base.auc:12.4f} {cpdg.auc:12.4f} {gain:+8.2%}")
 

@@ -1,58 +1,69 @@
-"""Quickstart: pre-train CPDG on a dynamic graph and fine-tune downstream.
+"""Quickstart: the unified CPDG pipeline in one screen.
 
-Walks the complete workflow of the paper's Figure 1 in ~30 seconds:
+Walks the complete workflow of the paper's Figure 1 in ~30 seconds using
+the :mod:`repro.api` facade:
 
-1. generate a dynamic interaction graph (the Meituan-like stream),
-2. split it chronologically: 60% pre-training / 40% downstream,
-3. pre-train a TGN encoder with CPDG's structural-temporal contrastive
-   objectives (Algorithm 1),
+1. describe the whole run — dataset, backbone, CPDG hyper-parameters,
+   fine-tuning knobs — in one serialisable :class:`RunConfig`,
+2. pre-train a TGN encoder with CPDG's structural-temporal contrastive
+   objectives (Algorithm 1) via ``Pipeline.pretrain()``,
+3. persist the pre-training artifact and resume from the file — the same
+   two-process flow as ``python -m repro pretrain`` / ``evaluate``,
 4. fine-tune on downstream link prediction with EIE-GRU enhancement,
 5. compare against the same encoder trained from scratch.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import CPDGConfig, CPDGPreTrainer
-from repro.datasets import DatasetScale, meituan_stream, split_downstream
-from repro.tasks import (FineTuneConfig, LinkPredictionTask,
-                         build_finetuned_encoder)
+import os
+import tempfile
+
+from repro.api import DataConfig, Pipeline, RunConfig
+from repro.core import CPDGConfig
+from repro.tasks import FineTuneConfig
 
 
 def main() -> None:
-    # 1. Data: a bursty user-item interaction stream (42 "days").
-    stream = meituan_stream(DatasetScale(num_users=60, num_items=40,
-                                         events_main=1500))
-    print(f"stream: {stream.num_events} events, {stream.num_nodes} nodes, "
-          f"{stream.timespan:.1f} time units")
+    # 1. One config for the whole run.  ``RunConfig.from_json`` /
+    #    ``with_overrides({"pretrain.beta": ...})`` read the same structure
+    #    the CLI's --config/--set flags use.
+    config = RunConfig(
+        backbone="tgn",
+        task="link_prediction",
+        strategy="eie-gru",
+        # A bursty user-item stream (42 "days"), split 6:4 into
+        # pre-training and downstream history (paper §V-A on Meituan).
+        data=DataConfig(dataset="meituan", num_users=60, num_items=40,
+                        events_main=1500, pretrain_fraction=0.6),
+        pretrain=CPDGConfig(eta=8, epsilon=8, depth=2, beta=0.5, epochs=3,
+                            batch_size=150, memory_dim=32, embed_dim=32,
+                            num_checkpoints=10, seed=0),
+        finetune=FineTuneConfig(epochs=4, batch_size=150, patience=2, seed=0),
+    )
 
-    # 2. Chronological transfer split (paper §V-A: 6:4 on Meituan).
-    pretrain_stream, rest = stream.split_fraction([0.6, 0.4])
-    downstream = split_downstream(rest)
-    print(f"pre-train on {pretrain_stream.num_events} events; fine-tune on "
-          f"{downstream.train.num_events} train / {downstream.val.num_events} "
-          f"val / {downstream.test.num_events} test")
-
-    # 3. CPDG pre-training (paper defaults scaled to the small graph).
-    config = CPDGConfig(eta=8, epsilon=8, depth=2, beta=0.5, epochs=3,
-                        batch_size=150, memory_dim=32, embed_dim=32,
-                        num_checkpoints=10, seed=0)
-    trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, config)
-    result = trainer.pretrain(pretrain_stream, verbose=True)
-    l_eta, l_eps, l_tlp = result.final_losses
+    # 2. CPDG pre-training (Algorithm 1); streams resolve from the config.
+    pipeline = Pipeline(config).pretrain(verbose=True)
+    l_eta, l_eps, l_tlp = pipeline.artifact.result.final_losses
     print(f"pre-trained: L_eta={l_eta:.4f} L_eps={l_eps:.4f} "
-          f"L_tlp={l_tlp:.4f}, {len(result.checkpoints)} memory checkpoints")
+          f"L_tlp={l_tlp:.4f}, "
+          f"{len(pipeline.artifact.result.checkpoints)} memory checkpoints")
 
-    # 4. Fine-tune with evolution-information-enhanced (EIE-GRU) strategy.
-    finetune = FineTuneConfig(epochs=4, batch_size=150, patience=2, seed=0)
-    cpdg_strategy = build_finetuned_encoder("tgn", stream.num_nodes, config,
-                                            result, "eie-gru", finetune)
-    cpdg_metrics = LinkPredictionTask(cpdg_strategy, downstream,
-                                      finetune).run(verbose=True)
+    # 3. Pre-train once, transfer everywhere: the artifact round-trips
+    #    through a single .npz file, config included.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "quickstart_artifact.npz")
+        pipeline.save(path)
+        print(f"artifact saved ({os.path.getsize(path) / 1024:.0f} KiB); "
+              "resuming fine-tuning from the file")
 
-    # 5. Control arm: no pre-training.
-    scratch = build_finetuned_encoder("tgn", stream.num_nodes, config, None,
-                                      "none", finetune)
-    scratch_metrics = LinkPredictionTask(scratch, downstream, finetune).run()
+        # 4. Fine-tune with evolution-information-enhanced (EIE-GRU)
+        #    strategy, exactly what `python -m repro evaluate` does.
+        cpdg_metrics = (Pipeline.from_artifact(path)
+                        .finetune(verbose=True)
+                        .evaluate())
+
+    # 5. Control arm: no pre-training (strategy "none" needs no artifact).
+    scratch_metrics = Pipeline(config).finetune(strategy="none").evaluate()
 
     print("\n=== downstream dynamic link prediction ===")
     print(f"  from scratch : AUC={scratch_metrics.auc:.4f} "

@@ -3,61 +3,64 @@
 An e-commerce platform (the Amazon Review analogue) has a mature category
 ("arts") with abundant history and launches recommendations in two newer
 categories ("beauty", "luxury").  Retraining a DGNN per category is
-impractical (paper §I), so we pre-train once on the mature category's
+impractical (paper §I), so we pre-train ONCE on the mature category's
 history and transfer under the hardest setting — time+field — comparing
-all four fine-tuning strategies of paper Table XI.
+all four fine-tuning strategies of paper Table XI.  The single
+:class:`repro.api.PretrainArtifact` is shared across every (category,
+strategy) arm, exactly the pre-train-once / fine-tune-everywhere flow of
+the ``pretrain`` / ``evaluate`` CLI.
 
 Run:  python examples/recommendation_transfer.py
 """
 
-from repro.core import CPDGConfig, CPDGPreTrainer
-from repro.datasets import (DEFAULT_SPLIT_TIME, DatasetScale, amazon_universe,
-                            make_transfer_split)
-from repro.tasks import (FineTuneConfig, LinkPredictionTask,
-                         build_finetuned_encoder)
+from dataclasses import replace
+
+from repro.api import DataConfig, Pipeline, RunConfig, resolve_data
+from repro.core import CPDGConfig
+from repro.tasks import FineTuneConfig
 
 STRATEGIES = ("full", "eie-mean", "eie-attn", "eie-gru")
 
 
 def main() -> None:
-    universe = amazon_universe(DatasetScale(num_users=70, num_items=40,
-                                            events_main=1400,
-                                            events_source=1800))
-    print(f"universe: {universe.num_nodes} nodes, fields "
-          f"{universe.field_names()} (users shared across fields)")
-
-    config = CPDGConfig(eta=8, epsilon=8, depth=2, epochs=3, batch_size=150,
-                        memory_dim=32, embed_dim=32, num_checkpoints=10,
-                        seed=0)
-    finetune = FineTuneConfig(epochs=4, batch_size=150, patience=2, seed=0)
+    config = RunConfig(
+        backbone="jodie",
+        task="link_prediction",
+        # time+field: pre-train on the source field's ("arts") early
+        # history, fine-tune on each target's later history (paper §V-C).
+        data=DataConfig(dataset="amazon:beauty", transfer="time+field",
+                        source_field="arts", num_users=70, num_items=40,
+                        events_main=1400, events_source=1800),
+        pretrain=CPDGConfig(eta=8, epsilon=8, depth=2, epochs=3,
+                            batch_size=150, memory_dim=32, embed_dim=32,
+                            num_checkpoints=10, seed=0),
+        finetune=FineTuneConfig(epochs=4, batch_size=150, patience=2, seed=0),
+    )
 
     # Pre-train ONCE on the mature category's early history.
-    source_split = make_transfer_split("time+field",
-                                       universe.stream("beauty"),
-                                       universe.stream("arts"),
-                                       DEFAULT_SPLIT_TIME)
-    trainer = CPDGPreTrainer.from_backbone("jodie", universe.num_nodes, config)
-    pretrained = trainer.pretrain(source_split.pretrain, verbose=True)
-    print(f"pre-trained on 'arts' history "
-          f"({source_split.pretrain.num_events} events)\n")
+    pipeline = Pipeline(config).pretrain(verbose=True)
+    artifact = pipeline.artifact
+    print(f"pre-trained on '{artifact.dataset_name}' "
+          f"({artifact.num_nodes} nodes, fingerprint "
+          f"{artifact.dataset_fingerprint})\n")
 
-    # Transfer to each new category with every fine-tuning strategy.
-    for field in ("beauty", "luxury"):
-        split = make_transfer_split("time+field", universe.stream(field),
-                                    universe.stream("arts"),
-                                    DEFAULT_SPLIT_TIME)
-        print(f"=== target category: {field} "
-              f"({split.downstream.train.num_events} fine-tune events) ===")
-        baseline = build_finetuned_encoder("jodie", universe.num_nodes,
-                                           config, None, "none", finetune)
-        base = LinkPredictionTask(baseline, split.downstream, finetune).run()
+    # Transfer to each new category with every fine-tuning strategy
+    # (each target's streams resolved once, shared across arms).
+    for target in ("beauty", "luxury"):
+        cfg = replace(config,
+                      data=replace(config.data, dataset=f"amazon:{target}"))
+        data = resolve_data(cfg.data)
+        print(f"=== target category: {target} "
+              f"({data.downstream.train.num_events} fine-tune events) ===")
+        base = (Pipeline(cfg)
+                .finetune(split=data.downstream, strategy="none",
+                          num_nodes=data.num_nodes)
+                .evaluate())
         print(f"  no pre-train : AUC={base.auc:.4f} AP={base.ap:.4f}")
         for strategy in STRATEGIES:
-            built = build_finetuned_encoder("jodie", universe.num_nodes,
-                                            config, pretrained, strategy,
-                                            finetune)
-            metrics = LinkPredictionTask(built, split.downstream,
-                                         finetune).run()
+            metrics = (Pipeline(cfg, artifact=artifact)
+                       .finetune(split=data.downstream, strategy=strategy)
+                       .evaluate())
             print(f"  {strategy:12s} : AUC={metrics.auc:.4f} "
                   f"AP={metrics.ap:.4f} "
                   f"({(metrics.auc - base.auc) / base.auc:+.2%} AUC)")

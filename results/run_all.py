@@ -1,22 +1,42 @@
-"""Run every experiment at default scale, saving formatted tables."""
-import json
+"""Run every experiment at default scale, saving formatted tables.
+
+Tables land next to this script regardless of the working directory; the
+process exits nonzero if any experiment failed so CI / harnesses notice.
+"""
+import os
+import sys
 import time
 import traceback
 
 from repro.experiments import run_experiment
 
+OUT_DIR = os.path.dirname(os.path.abspath(__file__))
+
 ORDER = ["table5_6", "table4", "table8", "table11", "figure6", "figure8",
          "figure7", "figure5", "table10", "table9", "table7"]
 
-for name in ORDER:
-    t0 = time.time()
-    try:
-        result = run_experiment(name, scale="default", verbose=False)
-        out = result.format_table()
-        elapsed = time.time() - t0
-        with open(f"/root/repo/results/{name}.txt", "w") as fh:
-            fh.write(out + f"\n\n[elapsed: {elapsed:.1f}s]\n")
-        print(f"DONE {name} in {elapsed:.1f}s", flush=True)
-    except Exception as exc:
-        print(f"FAIL {name}: {exc}", flush=True)
-        traceback.print_exc()
+
+def main() -> int:
+    failed: list[str] = []
+    for name in ORDER:
+        t0 = time.time()
+        try:
+            result = run_experiment(name, scale="default", verbose=False)
+            out = result.format_table()
+            elapsed = time.time() - t0
+            with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+                fh.write(out + f"\n\n[elapsed: {elapsed:.1f}s]\n")
+            print(f"DONE {name} in {elapsed:.1f}s", flush=True)
+        except Exception as exc:
+            failed.append(name)
+            print(f"FAIL {name}: {exc}", flush=True)
+            traceback.print_exc()
+    if failed:
+        print(f"{len(failed)}/{len(ORDER)} experiments failed: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

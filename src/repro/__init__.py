@@ -12,9 +12,20 @@ Graph Neural Networks* (ICDE 2024) end-to-end on a pure-numpy substrate:
 * :mod:`repro.core` — the CPDG contribution (samplers, contrasts, EIE),
 * :mod:`repro.baselines` — static and dynamic comparison methods,
 * :mod:`repro.tasks` — downstream trainers and metrics,
-* :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.experiments` — one runner per paper table/figure,
+* :mod:`repro.api` — the unified front door: :class:`~repro.api.RunConfig`
+  + :class:`~repro.api.PretrainArtifact` + :class:`~repro.api.Pipeline`
+  behind the ``pretrain`` / ``finetune`` / ``evaluate`` CLI.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "api"]
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro` stays dependency-light.
+    if name == "api":
+        import importlib
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

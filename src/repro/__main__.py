@@ -1,29 +1,130 @@
-"""Command-line entry point: run experiments and dataset diagnostics.
+"""Command-line entry point: the three-stage pipeline, experiments and
+dataset diagnostics.
 
-Usage::
+The pipeline subcommands are thin layers over :mod:`repro.api`::
+
+    python -m repro pretrain --config run.json --out artifact.npz
+    python -m repro finetune --artifact artifact.npz --strategy eie-attn
+    python -m repro evaluate --artifact artifact.npz --task link_prediction
+
+Every pipeline subcommand accepts ``--config FILE`` (JSON produced by
+``RunConfig.to_json`` — see ``python -m repro pretrain --dump-config``)
+plus repeatable dotted overrides ``--set pretrain.beta=0.3``.  An artifact
+embeds the config that produced it, so ``finetune``/``evaluate`` need no
+config file.  The experiment harness is unchanged::
 
     python -m repro list
     python -m repro run table7 --scale tiny
-    python -m repro run figure6 --scale default --out results/figure6.txt
     python -m repro profile meituan
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .datasets import (LABELED_DATASETS, MEDIUM, amazon_universe,
-                       gowalla_universe, labeled_stream, meituan_stream)
-from .experiments import EXPERIMENTS, run_experiment
-from .graph import temporal_profile
+from .api import (ArtifactError, ConfigError, Pipeline, PretrainArtifact,
+                  RunConfig, parse_set_args)
 
-_PROFILABLE = ("meituan",) + LABELED_DATASETS + (
-    "amazon:beauty", "amazon:luxury", "amazon:arts",
-    "gowalla:entertainment", "gowalla:outdoors", "gowalla:food")
 
+def _load_run_config(args: argparse.Namespace,
+                     artifact: PretrainArtifact | None = None) -> RunConfig:
+    """Resolve the effective config: file > artifact's embedded > defaults,
+    then dotted ``--set`` overrides, then explicit flags."""
+    if getattr(args, "config", None):
+        config = RunConfig.from_json(args.config)
+    elif artifact is not None:
+        config = artifact.run_config
+    else:
+        config = RunConfig()
+    overrides = parse_set_args(getattr(args, "set", None))
+    if overrides:
+        config = config.with_overrides(overrides)
+    flags = {}
+    for name in ("task", "strategy", "backbone"):
+        value = getattr(args, name, None)
+        if value is not None:
+            flags[name] = value
+    if getattr(args, "inductive", False):
+        flags["inductive"] = True
+    if flags:
+        config = config.with_updates(**flags)
+    return config
+
+
+def _print_metrics(metrics, out: str | None) -> None:
+    row = metrics.as_row()
+    for key, value in row.items():
+        print(f"  {key:10s} {value}")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(row, fh, indent=2)
+            fh.write("\n")
+        print(f"metrics written to {out}")
+
+
+# ----------------------------------------------------------------------
+# pipeline subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    config = _load_run_config(args)
+    if args.dump_config:
+        print(json.dumps(config.to_dict(), indent=2))
+        return 0
+    pipeline = Pipeline(config).pretrain(verbose=not args.quiet)
+    pipeline.save(args.out)
+    info = pipeline.artifact.describe()
+    print(f"pre-trained {info['backbone']} on {info['dataset']} "
+          f"({info['num_nodes']} nodes, {info['checkpoints']} checkpoints)")
+    losses = info["final_losses"]
+    print(f"final losses: L_eta={losses['L_eta']} L_eps={losses['L_eps']} "
+          f"L_tlp={losses['L_tlp']}")
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def _cmd_finetune(args: argparse.Namespace) -> int:
+    artifact = PretrainArtifact.load(args.artifact)
+    config = _load_run_config(args, artifact)
+    pipeline = Pipeline.from_artifact(artifact, config)
+    pipeline.finetune(verbose=not args.quiet)
+    best = max((h.get("val_auc", float("nan")) for h in pipeline.history),
+               default=float("nan"))
+    print(f"fine-tuned {config.backbone} with strategy {config.strategy!r} "
+          f"for {len(pipeline.history)} epoch(s); best val AUC {best:.4f}")
+    if args.out_history:
+        with open(args.out_history, "w") as fh:
+            json.dump(pipeline.history, fh, indent=2)
+            fh.write("\n")
+        print(f"history written to {args.out_history}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    artifact = None
+    if args.artifact:
+        artifact = PretrainArtifact.load(args.artifact)
+    config = _load_run_config(args, artifact)
+    if artifact is None and config.strategy != "none":
+        print("evaluate needs --artifact unless --strategy none",
+              file=sys.stderr)
+        return 2
+    pipeline = Pipeline(config, artifact=artifact)
+    pipeline.finetune(verbose=not args.quiet)
+    metrics = pipeline.evaluate()
+    print(f"=== {config.task} ({config.strategy}, {config.backbone}) ===")
+    _print_metrics(metrics, args.out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# experiment / diagnostic subcommands (pre-existing)
+# ----------------------------------------------------------------------
 
 def _cmd_list(_: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
     width = max(len(name) for name in EXPERIMENTS)
     for name, (_, description) in sorted(EXPERIMENTS.items()):
         print(f"{name.ljust(width)}  {description}")
@@ -31,8 +132,13 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale,
-                            verbose=not args.quiet)
+    from .experiments import run_experiment
+    try:
+        result = run_experiment(args.experiment, scale=args.scale,
+                                verbose=not args.quiet)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     table = result.format_table()
     print(table)
     if args.out:
@@ -43,6 +149,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from .datasets import (LABELED_DATASETS, MEDIUM, amazon_universe,
+                           gowalla_universe, labeled_stream, meituan_stream)
+    from .graph import temporal_profile
+    profilable = ("meituan",) + LABELED_DATASETS + (
+        "amazon:beauty", "amazon:luxury", "amazon:arts",
+        "gowalla:entertainment", "gowalla:outdoors", "gowalla:food")
     name = args.dataset
     if name == "meituan":
         stream = meituan_stream(MEDIUM)
@@ -54,7 +166,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     else gowalla_universe(MEDIUM))
         stream = universe.stream(field)
     else:
-        print(f"unknown dataset {name!r}; choose from {_PROFILABLE}",
+        print(f"unknown dataset {name!r}; choose from {profilable}",
               file=sys.stderr)
         return 2
     profile = temporal_profile(stream)
@@ -64,15 +176,61 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# parser wiring
+# ----------------------------------------------------------------------
+
+def _add_config_options(parser: argparse.ArgumentParser,
+                        with_model_flags: bool = True) -> None:
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="JSON run config (RunConfig.to_json format)")
+    parser.add_argument("--set", action="append", default=[], metavar="K=V",
+                        help="dotted config override, e.g. pretrain.beta=0.3 "
+                             "(repeatable)")
+    parser.add_argument("--quiet", action="store_true")
+    if with_model_flags:
+        parser.add_argument("--task", default=None,
+                            help="link_prediction | node_classification")
+        parser.add_argument("--strategy", default=None,
+                            help="none | full | eie-mean | eie-attn | eie-gru")
+        parser.add_argument("--backbone", default=None,
+                            help="tgn | jodie | dyrep")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="CPDG reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    pre = sub.add_parser(
+        "pretrain", help="CPDG pre-training; writes a reusable artifact")
+    _add_config_options(pre)
+    pre.add_argument("--out", default="pretrain_artifact.npz", metavar="FILE",
+                     help="artifact path (default: %(default)s)")
+    pre.add_argument("--dump-config", action="store_true",
+                     help="print the effective config as JSON and exit")
+
+    fin = sub.add_parser(
+        "finetune", help="fine-tune downstream from a saved artifact")
+    _add_config_options(fin)
+    fin.add_argument("--artifact", required=True, metavar="FILE")
+    fin.add_argument("--out-history", default=None, metavar="FILE",
+                     help="write per-epoch fine-tuning history as JSON")
+
+    ev = sub.add_parser(
+        "evaluate", help="fine-tune + score the test segment from an artifact")
+    _add_config_options(ev)
+    ev.add_argument("--artifact", default=None, metavar="FILE",
+                    help="saved artifact (omit only with --strategy none)")
+    ev.add_argument("--inductive", action="store_true",
+                    help="restrict scoring to unseen-node events (Table X)")
+    ev.add_argument("--out", default=None, metavar="FILE",
+                    help="write metrics as JSON")
+
     sub.add_parser("list", help="list registered experiments")
 
     run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("experiment")
     run_parser.add_argument("--scale", default="tiny",
                             choices=("tiny", "default", "full"))
     run_parser.add_argument("--out", default=None,
@@ -81,12 +239,17 @@ def main(argv: list[str] | None = None) -> int:
 
     profile_parser = sub.add_parser("profile",
                                     help="print a dataset's temporal profile")
-    profile_parser.add_argument("dataset",
-                                help=f"one of {', '.join(_PROFILABLE)}")
+    profile_parser.add_argument("dataset")
 
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "profile": _cmd_profile}
-    return handlers[args.command](args)
+    handlers = {"pretrain": _cmd_pretrain, "finetune": _cmd_finetune,
+                "evaluate": _cmd_evaluate, "list": _cmd_list,
+                "run": _cmd_run, "profile": _cmd_profile}
+    try:
+        return handlers[args.command](args)
+    except (ConfigError, ArtifactError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,32 @@
+"""Unified front door for CPDG runs.
+
+Everything an application needs to drive the *pre-train once, transfer
+everywhere* workflow lives here:
+
+* :class:`RunConfig` — one serialisable config nesting the CPDG
+  hyper-parameters, fine-tuning knobs and dataset recipe, with JSON
+  round-trips and dotted-key overrides;
+* :class:`PretrainArtifact` — a persistable pre-training result
+  (``save``/``load`` as one pickle-free ``.npz`` with versioned metadata);
+* :class:`Pipeline` — the fluent ``pretrain() → finetune() → evaluate()``
+  facade, each stage resumable from a saved artifact.
+
+The ``python -m repro pretrain / finetune / evaluate`` CLI and the
+experiment runners are thin layers over these three classes.
+"""
+
+from .artifact import (ARTIFACT_FORMAT_VERSION, ArtifactError,
+                       PretrainArtifact, stream_fingerprint)
+from .config import (TASKS, ConfigError, DataConfig, RunConfig,
+                     normalize_task, parse_override, parse_set_args)
+from .data import ResolvedData, dataset_names, resolve_data
+from .pipeline import Pipeline
+
+__all__ = [
+    "RunConfig", "DataConfig", "ConfigError", "TASKS", "normalize_task",
+    "parse_override", "parse_set_args",
+    "PretrainArtifact", "ArtifactError", "ARTIFACT_FORMAT_VERSION",
+    "stream_fingerprint",
+    "ResolvedData", "resolve_data", "dataset_names",
+    "Pipeline",
+]

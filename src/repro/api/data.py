@@ -1,0 +1,98 @@
+"""Turn a :class:`~repro.api.config.DataConfig` into concrete streams.
+
+One resolver maps every registry dataset name onto the pre-train stream +
+downstream split a pipeline run needs:
+
+* ``meituan`` and the labelled streams (``wikipedia`` / ``mooc`` /
+  ``reddit``) split chronologically by fraction — ``pretrain_fraction``
+  first, then train/val/test fractions over the remainder (the paper's
+  6:2:1:1 node-classification split is ``pretrain_fraction=0.6`` with
+  downstream fractions ``0.5/0.25/0.25``);
+* fielded targets (``amazon:beauty``, ``gowalla:food``, …) go through
+  :func:`~repro.datasets.splits.make_transfer_split` under the configured
+  transfer setting, pre-training on the universe's source field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.registry import (DEFAULT_SPLIT_TIME, LABELED_DATASETS,
+                                 DatasetScale, amazon_universe,
+                                 gowalla_universe, labeled_stream,
+                                 meituan_stream)
+from ..datasets.splits import (DownstreamSplit, make_transfer_split,
+                               split_downstream)
+from ..graph.events import EventStream
+from .config import ConfigError, DataConfig
+
+__all__ = ["ResolvedData", "resolve_data", "dataset_names"]
+
+_UNIVERSES = {"amazon": (amazon_universe, "arts"),
+              "gowalla": (gowalla_universe, "food")}
+
+
+@dataclass
+class ResolvedData:
+    """The concrete streams behind one :class:`DataConfig`."""
+
+    name: str
+    pretrain: EventStream
+    downstream: DownstreamSplit
+    num_nodes: int
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Every dataset form the resolver accepts (fielded ones per field)."""
+    fielded = tuple(f"{universe}:{field}" for universe, fields in
+                    (("amazon", ("beauty", "luxury", "arts")),
+                     ("gowalla", ("entertainment", "outdoors", "food")))
+                    for field in fields)
+    return ("meituan",) + LABELED_DATASETS + fielded
+
+
+def resolve_data(data: DataConfig) -> ResolvedData:
+    """Build the pre-train stream + downstream split for ``data``."""
+    data.validate()
+    scale = DatasetScale(num_users=data.num_users, num_items=data.num_items,
+                         events_main=data.events_main,
+                         events_source=data.events_source,
+                         events_labeled=data.events_labeled)
+    name = data.dataset
+
+    if ":" in name:
+        universe_name, target_field = name.split(":", 1)
+        if universe_name not in _UNIVERSES:
+            raise ConfigError(f"unknown universe {universe_name!r}; "
+                              f"expected one of {sorted(_UNIVERSES)}")
+        builder, default_source = _UNIVERSES[universe_name]
+        universe = (builder(scale) if data.seed is None
+                    else builder(scale, seed=data.seed))
+        if target_field not in universe.field_names():
+            raise ConfigError(f"unknown field {target_field!r} of "
+                              f"{universe_name!r}; have "
+                              f"{universe.field_names()}")
+        source_field = data.source_field or default_source
+        split_time = (data.split_time if data.split_time is not None
+                      else DEFAULT_SPLIT_TIME)
+        split = make_transfer_split(
+            data.transfer, universe.stream(target_field),
+            universe.stream(source_field), split_time,
+            downstream_fractions=data.downstream_fractions)
+        return ResolvedData(name=name, pretrain=split.pretrain,
+                            downstream=split.downstream,
+                            num_nodes=universe.num_nodes)
+
+    if name == "meituan":
+        stream = (meituan_stream(scale) if data.seed is None
+                  else meituan_stream(scale, seed=data.seed))
+    elif name in LABELED_DATASETS:
+        stream = labeled_stream(name, scale, seed=data.seed)
+    else:
+        raise ConfigError(f"unknown dataset {name!r}; expected one of "
+                          f"{dataset_names()}")
+    pretrain, rest = stream.split_fraction(
+        [data.pretrain_fraction, 1.0 - data.pretrain_fraction])
+    downstream = split_downstream(rest, data.downstream_fractions)
+    return ResolvedData(name=name, pretrain=pretrain, downstream=downstream,
+                        num_nodes=stream.num_nodes)

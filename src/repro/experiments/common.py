@@ -9,10 +9,13 @@ Every table/figure runner in this package works the same way:
 * collect :class:`Cell` values into an :class:`ExperimentResult` whose
   ``format_table()`` prints the same rows the paper reports.
 
-Pre-training is cached per ``(method, stream identity, seed)`` within a
-runner so that field / time+field settings — where the paper pre-trains
-once on the source field and fine-tunes on two targets — pay for each
-pre-training only once.
+The CPDG cells drive :class:`repro.api.Pipeline` — the same facade behind
+the CLI — with explicit streams/splits; only the baseline cells wire their
+method-specific encoders by hand.  Pre-training is cached per ``(method,
+stream identity, seed)`` within a runner (as in-memory
+:class:`~repro.api.PretrainArtifact` objects) so that field / time+field
+settings — where the paper pre-trains once on the source field and
+fine-tunes on two targets — pay for each pre-training only once.
 """
 
 from __future__ import annotations
@@ -21,15 +24,14 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..api import Pipeline, PretrainArtifact, RunConfig
 from ..baselines.pretrain import BaselinePretrainConfig
 from ..baselines.registry import BASELINES
 from ..core.config import CPDGConfig
-from ..core.pretrainer import CPDGPreTrainer, PretrainResult
 from ..datasets.registry import MEDIUM, SMALL, DatasetScale
 from ..datasets.splits import DownstreamSplit
 from ..graph.events import EventStream
-from ..tasks.finetune import (FineTuneConfig, FineTuneStrategy,
-                              build_finetuned_encoder)
+from ..tasks.finetune import FineTuneConfig, FineTuneStrategy
 from ..tasks.link_prediction import LinkPredictionMetrics, LinkPredictionTask
 from ..tasks.node_classification import (NodeClassificationMetrics,
                                          NodeClassificationTask)
@@ -184,36 +186,33 @@ def run_cpdg(backbone: str, num_nodes: int, pretrain_stream: EventStream,
     """One CPDG cell: pre-train (cached) then fine-tune with ``strategy``."""
     cfg = (cpdg_config if cpdg_config is not None else scale.cpdg)
     cfg = cfg.with_overrides(seed=seed)
-    delta_scale = max(pretrain_stream.timespan /
-                      max(pretrain_stream.num_events, 1), 1e-6)
+    config = RunConfig(backbone=backbone, task=task, strategy=strategy,
+                       inductive=inductive, pretrain=cfg,
+                       finetune=replace(scale.finetune, seed=seed))
 
-    def compute() -> PretrainResult:
-        trainer = CPDGPreTrainer.from_backbone(backbone, num_nodes, cfg,
-                                               delta_scale=delta_scale)
-        return trainer.pretrain(pretrain_stream)
+    def compute() -> PretrainArtifact:
+        return Pipeline(config).pretrain(pretrain_stream).artifact
 
     key = ("cpdg", backbone, id(pretrain_stream), seed,
            cfg.beta, cfg.eta, cfg.epsilon, cfg.depth, cfg.num_checkpoints,
            cfg.use_temporal_contrast, cfg.use_structural_contrast,
            *cache_key_extra)
-    result = cache.get(key, compute) if cache is not None else compute()
+    artifact = cache.get(key, compute) if cache is not None else compute()
 
-    finetune = replace(scale.finetune, seed=seed)
-    strat = build_finetuned_encoder(backbone, num_nodes, cfg, result,
-                                    strategy, finetune,
-                                    delta_scale=delta_scale)
-    return _metrics_for(strat, split, finetune, task, inductive)
+    pipeline = Pipeline(config, artifact=artifact)
+    return pipeline.finetune(split=split, num_nodes=num_nodes).evaluate()
 
 
 def run_no_pretrain(backbone: str, num_nodes: int, split: DownstreamSplit,
                     scale: ExperimentScale, seed: int, task: str = "link",
                     inductive: bool = False):
     """Randomly initialised backbone, downstream fine-tuning only."""
-    cfg = scale.cpdg.with_overrides(seed=seed)
-    finetune = replace(scale.finetune, seed=seed)
-    strat = build_finetuned_encoder(backbone, num_nodes, cfg, None, "none",
-                                    finetune)
-    return _metrics_for(strat, split, finetune, task, inductive)
+    config = RunConfig(backbone=backbone, task=task, strategy="none",
+                       inductive=inductive,
+                       pretrain=scale.cpdg.with_overrides(seed=seed),
+                       finetune=replace(scale.finetune, seed=seed))
+    pipeline = Pipeline(config)
+    return pipeline.finetune(split=split, num_nodes=num_nodes).evaluate()
 
 
 def run_baseline(name: str, num_nodes: int, pretrain_stream: EventStream,

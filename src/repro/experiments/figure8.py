@@ -13,13 +13,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
-
-from ..core.pretrainer import CPDGPreTrainer
+from ..api import Pipeline, RunConfig
 from ..datasets.registry import labeled_stream
 from ..datasets.splits import node_classification_split
-from ..tasks.finetune import build_finetuned_encoder
-from ..tasks.node_classification import NodeClassificationTask
 from .common import SCALES, ExperimentResult, aggregate
 
 __all__ = ["run", "LENGTHS"]
@@ -40,26 +36,27 @@ def run(scale: str = "default", datasets=("wikipedia", "reddit"),
     for dataset in datasets:
         stream = labeled_stream(dataset, exp.data)
         pretrain_stream, downstream = node_classification_split(stream)
-        per_seed_results = {}
+        per_seed_artifacts = {}
         for seed in exp.seeds:
-            cfg = exp.cpdg.with_overrides(num_checkpoints=max_length, seed=seed)
-            trainer = CPDGPreTrainer.from_backbone(backbone, stream.num_nodes,
-                                                   cfg)
-            per_seed_results[seed] = trainer.pretrain(pretrain_stream)
+            config = RunConfig(
+                backbone=backbone, task="node_classification",
+                strategy="eie-gru",
+                pretrain=exp.cpdg.with_overrides(num_checkpoints=max_length,
+                                                 seed=seed),
+                finetune=replace(exp.finetune, seed=seed))
+            per_seed_artifacts[seed] = (
+                Pipeline(config).pretrain(pretrain_stream).artifact)
 
         for length in lengths:
             aucs = []
             for seed in exp.seeds:
-                full = per_seed_results[seed]
-                truncated = replace(full,
-                                    checkpoints=full.checkpoints.truncate(length))
-                finetune = replace(exp.finetune, seed=seed)
-                cfg = exp.cpdg.with_overrides(seed=seed)
-                strategy = build_finetuned_encoder(
-                    backbone, stream.num_nodes, cfg, truncated, "eie-gru",
-                    finetune)
-                task = NodeClassificationTask(strategy, downstream, finetune)
-                aucs.append(task.run().auc)
+                full = per_seed_artifacts[seed]
+                truncated = replace(
+                    full, result=replace(
+                        full.result,
+                        checkpoints=full.result.checkpoints.truncate(length)))
+                pipeline = Pipeline(full.run_config, artifact=truncated)
+                aucs.append(pipeline.finetune(split=downstream).evaluate().auc)
             result.add_row(dataset=dataset, L=length, AUC=aggregate(aucs))
             if verbose:
                 print(f"[figure8] {dataset:10s} L={length} "

@@ -8,14 +8,11 @@ empirically: measured wall-clock per fine-tuning epoch should order
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 
-from ..core.pretrainer import CPDGPreTrainer
+from ..api import Pipeline, RunConfig
 from ..datasets.registry import DEFAULT_SPLIT_TIME, amazon_universe
 from ..datasets.splits import make_transfer_split
-from ..tasks.finetune import build_finetuned_encoder
-from ..tasks.link_prediction import LinkPredictionTask
 from .common import SCALES, ExperimentResult
 
 __all__ = ["run", "STRATEGIES", "PAPER_COMPLEXITY"]
@@ -39,18 +36,16 @@ def run(scale: str = "default", backbone: str = "jodie",
     universe = amazon_universe(exp.data)
     split = make_transfer_split("time", universe.stream("beauty"),
                                 universe.stream("arts"), DEFAULT_SPLIT_TIME)
-    cfg = exp.cpdg.with_overrides(seed=exp.seeds[0])
-    trainer = CPDGPreTrainer.from_backbone(backbone, universe.num_nodes, cfg)
-    pretrained = trainer.pretrain(split.pretrain)
+    config = RunConfig(
+        backbone=backbone, task="link_prediction",
+        pretrain=exp.cpdg.with_overrides(seed=exp.seeds[0]),
+        finetune=replace(exp.finetune, epochs=1, patience=1,
+                         seed=exp.seeds[0]))
+    pipeline = Pipeline(config).pretrain(split.pretrain)
 
-    finetune = replace(exp.finetune, epochs=1, patience=1, seed=exp.seeds[0])
     for strategy in STRATEGIES:
-        built = build_finetuned_encoder(backbone, universe.num_nodes, cfg,
-                                        pretrained, strategy, finetune)
-        task = LinkPredictionTask(built, split.downstream, finetune)
-        start = time.perf_counter()
-        task.train()
-        elapsed = time.perf_counter() - start
+        pipeline.finetune(split=split.downstream, strategy=strategy)
+        elapsed = pipeline.train_seconds
         result.add_row(strategy=strategy,
                        **{"paper complexity": PAPER_COMPLEXITY[strategy],
                           "seconds/epoch": round(elapsed, 3)})

@@ -1,0 +1,1 @@
+"""Test package — lets test modules use ``from .conftest import ...``."""

@@ -1,0 +1,167 @@
+"""Unit tests for the serialisable run configuration (repro.api.config)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (ConfigError, DataConfig, RunConfig, dataset_names,
+                       normalize_task, parse_override, parse_set_args,
+                       resolve_data)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        config = RunConfig()
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_round_trip_customised(self):
+        config = RunConfig(
+            backbone="jodie", task="node_classification", strategy="eie-attn",
+            inductive=True,
+            data=DataConfig(dataset="mooc", num_users=30, seed=5),
+        )
+        config = config.with_overrides({"pretrain.beta": 0.25,
+                                        "finetune.epochs": 7})
+        clone = RunConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.pretrain.beta == 0.25
+        assert clone.finetune.epochs == 7
+
+    def test_json_file_round_trip(self, tmp_path):
+        config = RunConfig(strategy="full",
+                           data=DataConfig(dataset="amazon:luxury",
+                                           transfer="time+field"))
+        path = tmp_path / "run.json"
+        config.to_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["strategy"] == "full"
+        assert RunConfig.from_json(str(path)) == config
+
+    def test_from_json_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            RunConfig.from_json(str(path))
+
+    def test_partial_dict_fills_defaults(self):
+        config = RunConfig.from_dict({"backbone": "dyrep",
+                                      "pretrain": {"beta": 0.9}})
+        assert config.backbone == "dyrep"
+        assert config.pretrain.beta == 0.9
+        assert config.finetune == RunConfig().finetune
+
+
+class TestUnknownKeyRejection:
+    def test_top_level_unknown_key(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            RunConfig.from_dict({"bogus": 1})
+
+    def test_nested_unknown_key(self):
+        with pytest.raises(ConfigError, match="pretrain"):
+            RunConfig.from_dict({"pretrain": {"learning_rate": 0.1,
+                                              "bogus": 1}})
+
+    def test_section_must_be_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            RunConfig.from_dict({"finetune": 3})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"backbone": "transformer"})
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"task": "regression"})
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"strategy": "eie-lstm"})
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"pretrain": {"beta": 2.0}})
+        with pytest.raises(ConfigError):
+            RunConfig.from_dict({"data": {"train_fraction": 0.9}})
+
+
+class TestOverrides:
+    def test_dotted_override_types(self):
+        config = RunConfig().with_overrides({
+            "pretrain.beta": 0.3,
+            "finetune.epochs": 9,
+            "data.dataset": "wikipedia",
+            "inductive": True,
+        })
+        assert config.pretrain.beta == 0.3
+        assert config.finetune.epochs == 9
+        assert config.data.dataset == "wikipedia"
+        assert config.inductive is True
+
+    def test_override_is_functional(self):
+        base = RunConfig()
+        base.with_overrides({"pretrain.beta": 0.1})
+        assert base.pretrain.beta == RunConfig().pretrain.beta
+
+    def test_unknown_dotted_key_rejected(self):
+        with pytest.raises(ConfigError, match="pretrain.bogus"):
+            RunConfig().with_overrides({"pretrain.bogus": 1})
+        with pytest.raises(ConfigError, match="nonsection"):
+            RunConfig().with_overrides({"nonsection.beta": 1})
+
+    def test_section_as_leaf_rejected(self):
+        with pytest.raises(ConfigError, match="section"):
+            RunConfig().with_overrides({"pretrain": 3})
+
+    def test_parse_override_value_parsing(self):
+        assert parse_override("pretrain.beta=0.3") == ("pretrain.beta", 0.3)
+        assert parse_override("finetune.epochs=4") == ("finetune.epochs", 4)
+        assert parse_override("inductive=true") == ("inductive", True)
+        assert parse_override("data.seed=null") == ("data.seed", None)
+        assert parse_override("data.dataset=mooc") == ("data.dataset", "mooc")
+
+    def test_parse_override_requires_equals(self):
+        with pytest.raises(ConfigError):
+            parse_override("pretrain.beta")
+        with pytest.raises(ConfigError):
+            parse_override("=3")
+
+    def test_parse_set_args_folds_repeats(self):
+        overrides = parse_set_args(["pretrain.beta=0.1", "pretrain.beta=0.7",
+                                    "backbone=jodie"])
+        assert overrides == {"pretrain.beta": 0.7, "backbone": "jodie"}
+
+
+class TestTasksAndData:
+    def test_task_aliases(self):
+        assert normalize_task("link") == "link_prediction"
+        assert normalize_task("node") == "node_classification"
+        assert normalize_task("link_prediction") == "link_prediction"
+        with pytest.raises(ConfigError):
+            normalize_task("ranking?")
+
+    def test_dataset_names_cover_registry(self):
+        names = dataset_names()
+        assert "meituan" in names and "mooc" in names
+        assert "amazon:beauty" in names and "gowalla:food" in names
+
+    def test_resolve_fraction_split(self):
+        data = DataConfig(dataset="meituan", num_users=20, num_items=15,
+                          events_main=200, pretrain_fraction=0.5)
+        resolved = resolve_data(data)
+        total = (resolved.pretrain.num_events
+                 + resolved.downstream.train.num_events
+                 + resolved.downstream.val.num_events
+                 + resolved.downstream.test.num_events)
+        assert resolved.pretrain.num_events == pytest.approx(total / 2, abs=1)
+        assert resolved.num_nodes == resolved.pretrain.num_nodes
+
+    def test_resolve_transfer_split(self):
+        data = DataConfig(dataset="amazon:beauty", transfer="time+field",
+                          num_users=25, num_items=16, events_main=240,
+                          events_source=300)
+        resolved = resolve_data(data)
+        # time+field pre-trains on the source field's early history.
+        assert "arts" in resolved.pretrain.name
+        assert resolved.downstream.test.num_events > 0
+
+    def test_resolve_unknown_dataset(self):
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            resolve_data(DataConfig(dataset="imdb"))
+        with pytest.raises(ConfigError, match="universe"):
+            resolve_data(DataConfig(dataset="netflix:horror"))
