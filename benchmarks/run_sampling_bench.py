@@ -1,0 +1,118 @@
+"""Before/after throughput of the batch-first CSR sampling engine.
+
+Times each hot-path primitive two ways on the SMALL meituan stream:
+
+* *before* — the per-node reference path (row-by-row ``most_recent``,
+  per-root ``sample_reference``), the shape of the pre-CSR implementation;
+* *after* — the vectorized batch kernel (``batch_most_recent``,
+  ``sample_batch``).
+
+Writes ``BENCH_sampling.json`` at the repo root (queries/sec and speedup
+per case) so the perf trajectory of the sampling layer is recorded
+alongside the code.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_sampling_bench.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EpsilonDFSSampler, EtaBFSSampler
+from repro.datasets import SMALL, meituan_stream
+from repro.graph import NeighborFinder
+
+
+def best_rate(fn, units: int, repeats: int = 5, min_time: float = 0.2) -> float:
+    """Best observed units/sec over ``repeats`` timed runs.
+
+    Each run loops ``fn`` until ``min_time`` elapsed so short kernels are
+    measured over many iterations.
+    """
+    fn()  # warm-up
+    start = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - start, 1e-9)
+    loops = max(1, int(np.ceil(min_time / once)))
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = max(best, units * loops / elapsed)
+    return best
+
+
+def bench_cases(batch: int = 200) -> dict[str, dict[str, float]]:
+    stream = meituan_stream(SMALL)
+    finder = NeighborFinder(stream)
+    nodes = stream.src[:batch]
+    ts = stream.timestamps[:batch] + 1.0
+    t_max = float(stream.t_max)
+    full_ts = np.full(len(nodes), t_max)
+
+    cases: dict[str, dict[str, float]] = {}
+
+    def add(name: str, before, after, units: int) -> None:
+        before_rate = best_rate(before, units)
+        after_rate = best_rate(after, units)
+        cases[name] = {
+            "queries": units,
+            "before_per_sec": round(before_rate, 1),
+            "after_per_sec": round(after_rate, 1),
+            "speedup": round(after_rate / before_rate, 2),
+        }
+
+    add("neighbor_finder.batch_most_recent",
+        lambda: [finder.most_recent(int(n), float(t), 10)
+                 for n, t in zip(nodes, ts)],
+        lambda: finder.batch_most_recent(nodes, ts, 10),
+        len(nodes))
+
+    eta = EtaBFSSampler(finder, eta=10, depth=2, seed=0)
+    add("eta_bfs_sampler",
+        lambda: [eta.sample_reference(int(n), t_max) for n in nodes],
+        lambda: eta.sample_batch(nodes, full_ts),
+        len(nodes))
+
+    eps = EpsilonDFSSampler(finder, epsilon=10, depth=2)
+    add("epsilon_dfs_sampler",
+        lambda: [eps.sample_reference(int(n), t_max) for n in nodes],
+        lambda: eps.sample_batch(nodes, full_ts),
+        len(nodes))
+
+    return cases
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_sampling.json")
+    parser.add_argument("--batch", type=int, default=200)
+    args = parser.parse_args()
+
+    cases = bench_cases(args.batch)
+    payload = {
+        "scale": "SMALL",
+        "batch": args.batch,
+        "metric": "queries per second (one query = one root/timestamp row)",
+        "cases": cases,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, row in cases.items():
+        print(f"{name:40s} {row['before_per_sec']:>12.1f} -> "
+              f"{row['after_per_sec']:>12.1f} q/s  ({row['speedup']:.1f}x)")
+    print(f"wrote {args.out}")
+    slow = [n for n, row in cases.items() if row["speedup"] < 1.0]
+    return 1 if slow else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

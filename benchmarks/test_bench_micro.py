@@ -69,22 +69,38 @@ class TestAutogradMicro:
 
 
 class TestSamplerMicro:
-    def test_eta_bfs_throughput(self, benchmark, stream, finder):
+    def test_eta_bfs_reference_throughput(self, benchmark, stream, finder):
+        """The per-root reference arm — the 'before' of BENCH_sampling.json."""
         sampler = EtaBFSSampler(finder, eta=10, depth=2, seed=0)
         nodes = stream.src[:50]
         t = stream.t_max
 
         def sample_all():
-            return [sampler.sample(int(n), t) for n in nodes]
+            return [sampler.sample_reference(int(n), t) for n in nodes]
 
         benchmark(sample_all)
 
-    def test_epsilon_dfs_throughput(self, benchmark, stream, finder):
+    def test_eta_bfs_batch_throughput(self, benchmark, stream, finder):
+        """Whole-frontier η-BFS over the same roots as the reference arm."""
+        sampler = EtaBFSSampler(finder, eta=10, depth=2, seed=0)
+        nodes = stream.src[:50]
+        ts = np.full(len(nodes), stream.t_max)
+
+        benchmark(lambda: sampler.sample_batch(nodes, ts))
+
+    def test_epsilon_dfs_reference_throughput(self, benchmark, stream, finder):
         sampler = EpsilonDFSSampler(finder, epsilon=10, depth=2)
         nodes = stream.src[:50]
         t = stream.t_max
 
-        benchmark(lambda: [sampler.sample(int(n), t) for n in nodes])
+        benchmark(lambda: [sampler.sample_reference(int(n), t) for n in nodes])
+
+    def test_epsilon_dfs_batch_throughput(self, benchmark, stream, finder):
+        sampler = EpsilonDFSSampler(finder, epsilon=10, depth=2)
+        nodes = stream.src[:50]
+        ts = np.full(len(nodes), stream.t_max)
+
+        benchmark(lambda: sampler.sample_batch(nodes, ts))
 
     def test_precomputed_vs_online_sampling(self, benchmark, stream, finder):
         """DESIGN.md ablation: the §IV-A preprocessing optimisation."""
@@ -96,10 +112,31 @@ class TestSamplerMicro:
 
         benchmark(lambda: [cached.sample(int(n), t) for n in nodes])
 
+    def test_neighbor_finder_batch_query_reference(self, benchmark, stream, finder):
+        """Row-by-row most_recent — the pre-CSR batch_most_recent shape."""
+        nodes = stream.src[:200]
+        ts = stream.timestamps[:200] + 1.0
+
+        def per_row():
+            return [finder.most_recent(int(n), float(t), 10)
+                    for n, t in zip(nodes, ts)]
+
+        benchmark(per_row)
+
     def test_neighbor_finder_batch_query(self, benchmark, stream, finder):
         nodes = stream.src[:200]
         ts = stream.timestamps[:200] + 1.0
         benchmark(lambda: finder.batch_most_recent(nodes, ts, 10))
+
+    def test_neighbor_finder_batch_sample_uniform(self, benchmark, stream, finder):
+        rng = np.random.default_rng(0)
+        nodes = stream.src[:200]
+        ts = stream.timestamps[:200] + 1.0
+        benchmark(lambda: finder.batch_sample_uniform(nodes, ts, 10, rng))
+
+    def test_csr_construction(self, benchmark, stream):
+        from repro.graph import NeighborFinder as NF
+        benchmark(lambda: NF(stream))
 
 
 class TestEncoderMicro:
@@ -123,6 +160,42 @@ class TestEncoderMicro:
             return enc.compute_embedding(nodes, ts).data.sum()
 
         benchmark(embed)
+
+    def test_attention_embedding_two_layer(self, benchmark, stream):
+        """Recursive attention — two batch_most_recent sweeps per call."""
+        rng = np.random.default_rng(0)
+        enc = make_encoder("tgn", stream.num_nodes, rng, memory_dim=32,
+                           embed_dim=32, time_dim=8, edge_dim=4,
+                           n_neighbors=10, n_layers=2)
+        enc.attach(stream)
+        for batch in chronological_batches(stream, 200, rng):
+            enc.flush_messages()
+            enc.register_batch(batch)
+            enc.end_batch()
+        nodes = stream.src[:200]
+        ts = np.full(200, stream.t_max + 1.0)
+
+        def embed():
+            enc._flushed = None
+            return enc.compute_embedding(nodes, ts).data.sum()
+
+        benchmark(embed)
+
+
+class TestReadoutMicro:
+    """Scatter-based subgraph pooling (paper Eq. 9/10/12/13)."""
+
+    @pytest.mark.parametrize("mode", ["mean", "max", "sum"])
+    def test_subgraph_readout_scatter(self, benchmark, mode, stream, finder):
+        from repro.core import subgraph_readout
+        rng = np.random.default_rng(0)
+        memory = Tensor(rng.normal(size=(stream.num_nodes, 32)))
+        sampler = EpsilonDFSSampler(finder, epsilon=10, depth=2)
+        nodes = stream.src[:200]
+        ts = np.full(200, stream.t_max)
+        subgraphs = sampler.sample_batch(nodes, ts)
+
+        benchmark(lambda: subgraph_readout(memory, subgraphs, mode).data.sum())
 
 
 class TestContrastObjectiveAblation:

@@ -16,11 +16,13 @@ from .pretrainer import CPDGPreTrainer, PretrainResult
 from .probability import (PROBABILITY_FUNCTIONS, chronological_probability,
                           reverse_chronological_probability,
                           uniform_probability)
-from .samplers import EpsilonDFSSampler, EtaBFSSampler, PrecomputedSampler
+from .samplers import (EpsilonDFSSampler, EtaBFSSampler, PrecomputedSampler,
+                       SubgraphBatch)
 
 __all__ = [
     "CPDGConfig", "CPDGPreTrainer", "PretrainResult",
     "EtaBFSSampler", "EpsilonDFSSampler", "PrecomputedSampler",
+    "SubgraphBatch",
     "chronological_probability", "reverse_chronological_probability",
     "uniform_probability", "PROBABILITY_FUNCTIONS",
     "TemporalContrast", "StructuralContrast", "subgraph_readout",

@@ -24,6 +24,10 @@ class CPDGConfig:
     depth: int = 2
     tau: float = 0.2
     precompute_samplers: bool = True
+    # LRU bound of the §IV-A subgraph cache; None = unbounded.  The
+    # default caps memory at ~one subgraph per (root, quantised t) for a
+    # few hundred thousand events while keeping re-visits warm.
+    sampler_cache_capacity: int | None = 65536
 
     # Contrastive objectives (paper §IV-B)
     beta: float = 0.5
@@ -65,6 +69,9 @@ class CPDGConfig:
             raise ValueError(f"unknown objective {self.objective!r}")
         if self.eta < 1 or self.epsilon < 1 or self.depth < 1:
             raise ValueError("eta, epsilon and depth must be positive")
+        if self.sampler_cache_capacity is not None \
+                and self.sampler_cache_capacity < 1:
+            raise ValueError("sampler_cache_capacity must be positive or None")
         if self.num_checkpoints < 1:
             raise ValueError("need at least one checkpoint")
         if self.epochs < 1 or self.batch_size < 1:

@@ -1,4 +1,4 @@
-"""Structural-temporal contrastive objectives (paper §IV-B).
+"""Structural-temporal contrastive objectives (paper §IV-B), batch-first.
 
 Both contrasts share one mechanic: pool the *memory states* of a sampled
 subgraph into a vector with a readout (mean pooling, Eq. 9/10/12/13) and
@@ -11,6 +11,10 @@ apply a triplet margin loss against the centre node's embedding
 * :class:`StructuralContrast` — positive = the node's own ε-DFS subgraph,
   negative = the ε-DFS subgraph of a random *other* node (instance
   discrimination); captures discriminative structural patterns.
+
+Subgraphs are drawn with the whole-frontier ``sample_batch`` kernels and
+pooled with scatter readouts, so one pre-training step issues a constant
+number of numpy passes regardless of batch size.
 """
 
 from __future__ import annotations
@@ -20,7 +24,8 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.autograd import Tensor
 from ..nn.losses import info_nce_loss, triplet_margin_loss
-from .samplers import EpsilonDFSSampler, EtaBFSSampler
+from .samplers import (EpsilonDFSSampler, EtaBFSSampler, PrecomputedSampler,
+                       SubgraphBatch)
 
 __all__ = ["subgraph_readout", "TemporalContrast", "StructuralContrast",
            "READOUTS", "OBJECTIVES"]
@@ -28,43 +33,31 @@ __all__ = ["subgraph_readout", "TemporalContrast", "StructuralContrast",
 READOUTS = ("mean", "max", "sum")
 OBJECTIVES = ("triplet", "infonce")
 
+_SCATTER_POOLS = {"mean": F.scatter_mean, "max": F.scatter_max,
+                  "sum": F.scatter_sum}
 
-def subgraph_readout(memory: Tensor, subgraphs: list[np.ndarray],
+
+def subgraph_readout(memory: Tensor, subgraphs: SubgraphBatch | list[np.ndarray],
                      mode: str = "mean") -> Tensor:
     """Pool memory rows per subgraph (paper Eq. 9/10/12/13).
 
     The paper uses mean pooling "for simplicity"; ``max`` and ``sum`` are
     the alternatives Eq. 9 alludes to ("min, max, and weighted pooling")
-    and are compared in the ablation bench.  ``subgraphs`` is one node-id
-    array per batch row; empty subgraphs pool to the zero vector (new
-    nodes with no history).
+    and are compared in the ablation bench.  ``subgraphs`` is an
+    offset-indexed :class:`~repro.core.samplers.SubgraphBatch` (or one
+    node-id array per batch row); every mode is a single scatter over the
+    flat node list.  Empty subgraphs pool to the zero vector (new nodes
+    with no history).
     """
     if mode not in READOUTS:
         raise ValueError(f"unknown readout {mode!r}; expected {READOUTS}")
-    rows = [sub for sub in subgraphs if len(sub)]
-    if not rows:
-        return Tensor(np.zeros((len(subgraphs), memory.shape[-1])))
-    if mode == "mean":
-        flat = np.concatenate(rows)
-        groups = np.concatenate([
-            np.full(len(sub), row, dtype=np.int64)
-            for row, sub in enumerate(subgraphs) if len(sub)
-        ])
-        states = F.embedding_lookup(memory, flat)
-        return F.scatter_mean(states, groups, len(subgraphs))
-    # max/sum pool row by row (subgraphs are small: <= width^depth nodes).
-    pooled = []
-    zero = Tensor(np.zeros((1, memory.shape[-1])))
-    for sub in subgraphs:
-        if len(sub) == 0:
-            pooled.append(zero)
-            continue
-        states = F.embedding_lookup(memory, sub)
-        if mode == "max":
-            pooled.append(states.max(axis=0, keepdims=True))
-        else:
-            pooled.append(states.sum(axis=0, keepdims=True))
-    return F.concatenate(pooled, axis=0) if len(pooled) > 1 else pooled[0]
+    if not isinstance(subgraphs, SubgraphBatch):
+        subgraphs = SubgraphBatch.from_list(list(subgraphs))
+    batch = len(subgraphs)
+    if len(subgraphs.nodes) == 0:
+        return Tensor(np.zeros((batch, memory.shape[-1])))
+    states = F.embedding_lookup(memory, subgraphs.nodes)
+    return _SCATTER_POOLS[mode](states, subgraphs.groups(), batch)
 
 
 def _contrast_objective(objective: str, anchor: Tensor, positive: Tensor,
@@ -100,12 +93,10 @@ class TemporalContrast:
         self.objective = objective
 
     def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray
-                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        """Draw ``(TP_i^t, TN_i^t)`` for each batch row."""
-        positives = [self.positive_sampler.sample(int(n), float(t))
-                     for n, t in zip(nodes, ts)]
-        negatives = [self.negative_sampler.sample(int(n), float(t))
-                     for n, t in zip(nodes, ts)]
+                     ) -> tuple[SubgraphBatch, SubgraphBatch]:
+        """Draw ``(TP_i^t, TN_i^t)`` for the whole batch in two kernel calls."""
+        positives = self.positive_sampler.sample_batch(nodes, ts)
+        negatives = self.negative_sampler.sample_batch(nodes, ts)
         return positives, negatives
 
     def loss(self, embeddings: Tensor, memory: Tensor,
@@ -121,28 +112,40 @@ class StructuralContrast:
     """Structural contrast ``L_ε`` (paper Eq. 14).
 
     ``readout`` and ``objective`` as in :class:`TemporalContrast`.
+    ``precompute`` wraps the (deterministic) ε-DFS sampler in a
+    :class:`~repro.core.samplers.PrecomputedSampler` — the §IV-A
+    preprocessing optimisation; ``cache_capacity`` bounds that cache.
     """
 
     def __init__(self, finder, epsilon: int, depth: int, margin: float = 1.0,
                  seed: int = 0, readout: str = "mean",
-                 objective: str = "triplet"):
+                 objective: str = "triplet", precompute: bool = False,
+                 cache_capacity: int | None = None):
         self.sampler = EpsilonDFSSampler(finder, epsilon, depth)
+        if precompute:
+            self.sampler = PrecomputedSampler(self.sampler,
+                                              capacity=cache_capacity)
         self.margin = margin
         self.readout = readout
         self.objective = objective
         self._rng = np.random.default_rng(seed)
 
     def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray,
-                     num_nodes: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+                     num_nodes: int) -> tuple[SubgraphBatch, SubgraphBatch]:
         """Draw ``(SP_i^t, SN_{i'}^t)``; ``i'`` is a random node ≠ i."""
-        positives = [self.sampler.sample(int(n), float(t))
-                     for n, t in zip(nodes, ts)]
-        negatives = []
-        for n, t in zip(nodes, ts):
-            other = int(self._rng.integers(0, num_nodes))
-            while other == int(n):
-                other = int(self._rng.integers(0, num_nodes))
-            negatives.append(self.sampler.sample(other, float(t)))
+        if num_nodes < 2:
+            raise ValueError("structural contrast needs at least two nodes "
+                             "to draw a negative root")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        positives = self.sampler.sample_batch(nodes, ts)
+        others = self._rng.integers(0, num_nodes, size=len(nodes))
+        collide = others == nodes
+        while collide.any():
+            others[collide] = self._rng.integers(0, num_nodes,
+                                                 size=int(collide.sum()))
+            collide = others == nodes
+        negatives = self.sampler.sample_batch(others, ts)
         return positives, negatives
 
     def loss(self, embeddings: Tensor, memory: Tensor,

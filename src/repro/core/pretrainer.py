@@ -4,9 +4,11 @@ Walks the pre-training stream chronologically; per batch it
 
 1. computes centre-node embeddings with the DGNN encoder,
 2. draws temporal positive/negative subgraphs (η-BFS, chronological vs
-   reverse-chronological) and computes ``L_η`` (Eq. 11),
+   reverse-chronological) with the whole-frontier ``sample_batch``
+   kernels and computes ``L_η`` (Eq. 11),
 3. draws structural positive/negative subgraphs (ε-DFS, self vs random
-   other node) and computes ``L_ε`` (Eq. 14),
+   other node; optionally served from the §IV-A precomputation cache)
+   and computes ``L_ε`` (Eq. 14),
 4. adds the temporal-link-prediction pretext ``L_tlp`` (Eq. 16),
 5. minimises ``L_pre = (1-β)·L_η + β·L_ε + L_tlp`` (Eq. 17),
 
@@ -104,7 +106,9 @@ class CPDGPreTrainer:
         structural = StructuralContrast(finder, cfg.epsilon, cfg.depth,
                                         margin=cfg.margin, seed=cfg.seed + 7,
                                         readout=cfg.readout,
-                                        objective=cfg.objective)
+                                        objective=cfg.objective,
+                                        precompute=cfg.precompute_samplers,
+                                        cache_capacity=cfg.sampler_cache_capacity)
 
         params = encoder.parameters() + self.pretext.parameters()
         optimizer = Adam(params, lr=cfg.learning_rate)

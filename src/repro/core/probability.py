@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["chronological_probability", "reverse_chronological_probability",
-           "uniform_probability", "PROBABILITY_FUNCTIONS"]
+           "uniform_probability", "PROBABILITY_FUNCTIONS",
+           "segment_log_weights"]
 
 
 def _normalised_recency(times: np.ndarray, t: float) -> np.ndarray:
@@ -55,3 +56,30 @@ PROBABILITY_FUNCTIONS = {
     "reverse": reverse_chronological_probability,
     "uniform": uniform_probability,
 }
+
+
+def segment_log_weights(times: np.ndarray, query_times: np.ndarray,
+                        segment_min_times: np.ndarray, tau: float,
+                        mode: str) -> np.ndarray:
+    """Vectorized Eq. 6–8 log-weights over concatenated neighbour segments.
+
+    All three inputs are flat per-element arrays: ``times`` the interaction
+    times of every candidate neighbour, ``query_times`` / ``segment_min_times``
+    the query time ``t`` and ``min T_i^t`` of the segment each element
+    belongs to.  Returns unnormalised log-weights — exact up to a
+    per-segment additive constant, which is all top-k (Gumbel) sampling
+    needs.  This is the batch-first counterpart of the per-row
+    :data:`PROBABILITY_FUNCTIONS`.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    span = np.asarray(query_times, dtype=np.float64) - segment_min_times
+    safe_span = np.where(span > 0, span, 1.0)
+    recency = np.where(span > 0, (times - segment_min_times) / safe_span, 0.0)
+    if mode == "chronological":
+        return recency / tau
+    if mode == "reverse":
+        return (1.0 - recency) / tau
+    if mode == "uniform":
+        return np.zeros_like(recency)
+    raise ValueError(f"unknown probability mode {mode!r}; "
+                     f"expected {tuple(PROBABILITY_FUNCTIONS)}")

@@ -1,4 +1,4 @@
-"""The structural-temporal subgraph sampler (paper §IV-A).
+"""The structural-temporal subgraph sampler (paper §IV-A), batch-first.
 
 * :class:`EtaBFSSampler` — breadth-first expansion where each hop draws up
   to η distinct neighbours with a temporal-aware probability (Eq. 6–8).
@@ -9,6 +9,16 @@
   ε most recently interacted neighbours at every step (Eq. 5), yielding
   the structural subgraphs ``SP_i^t`` / ``SN_{i'}^t``.
 
+Both samplers expand whole frontiers per hop: ``sample_batch(roots, ts)``
+queries the :class:`~repro.graph.neighbor_finder.NeighborFinder` CSR
+arrays for every frontier node at once and returns an offset-indexed
+:class:`SubgraphBatch`.  The η-BFS weighted draw uses the Gumbel top-k
+trick (Efraimidis–Spirakis), which is distributionally identical to
+sequential ``choice(replace=False, p=probs)`` but runs as a handful of
+numpy passes over the concatenated neighbour segments.  Per-root
+``sample`` / ``sample_reference`` remain for single-root callers and as
+the validation arm of the equivalence tests.
+
 Both samplers are parameter-free, so :class:`PrecomputedSampler` can cache
 subgraphs keyed by ``(root, t)`` before training starts (paper §IV-A last
 paragraph); the cache-vs-online trade-off is measured in the ablation
@@ -17,12 +27,89 @@ benches.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..graph.neighbor_finder import NeighborFinder
-from .probability import PROBABILITY_FUNCTIONS
+from .probability import PROBABILITY_FUNCTIONS, segment_log_weights
 
-__all__ = ["EtaBFSSampler", "EpsilonDFSSampler", "PrecomputedSampler"]
+__all__ = ["SubgraphBatch", "EtaBFSSampler", "EpsilonDFSSampler",
+           "PrecomputedSampler"]
+
+
+@dataclass
+class SubgraphBatch:
+    """Offset-indexed batch of sampled subgraphs.
+
+    Row ``i``'s node ids are the flat slice
+    ``nodes[indptr[i]:indptr[i + 1]]`` — the same CSR layout the
+    :class:`~repro.graph.neighbor_finder.NeighborFinder` uses, so readouts
+    can scatter over ``(nodes, groups())`` without materialising per-row
+    lists.  Iterating yields one id array per row, which keeps the batch a
+    drop-in replacement for ``list[np.ndarray]`` callers.
+    """
+
+    nodes: np.ndarray
+    indptr: np.ndarray
+
+    def __post_init__(self):
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def __iter__(self):
+        return (self.row(i) for i in range(len(self)))
+
+    def row(self, i: int) -> np.ndarray:
+        return self.nodes[self.indptr[i]:self.indptr[i + 1]]
+
+    def counts(self) -> np.ndarray:
+        """Subgraph size per row."""
+        return np.diff(self.indptr)
+
+    def groups(self) -> np.ndarray:
+        """Row index of every flat node — the scatter key for readouts."""
+        return np.repeat(np.arange(len(self), dtype=np.int64), self.counts())
+
+    def to_list(self) -> list[np.ndarray]:
+        return [self.row(i) for i in range(len(self))]
+
+    @classmethod
+    def from_list(cls, subgraphs: list[np.ndarray]) -> "SubgraphBatch":
+        indptr = np.zeros(len(subgraphs) + 1, dtype=np.int64)
+        np.cumsum([len(sub) for sub in subgraphs], out=indptr[1:])
+        nodes = (np.concatenate(subgraphs) if len(subgraphs)
+                 else np.empty(0, dtype=np.int64))
+        return cls(np.asarray(nodes, dtype=np.int64), indptr)
+
+
+def _assemble(picks_rows: list[np.ndarray], picks_nodes: list[np.ndarray],
+              roots: np.ndarray, num_nodes: int) -> SubgraphBatch:
+    """Collapse per-hop picks into first-occurrence-unique rows sans roots.
+
+    Replicates the per-root ``seen`` bookkeeping: within each row, keep the
+    first occurrence of every node in global pick order and drop the root.
+    """
+    batch = len(roots)
+    if not picks_rows:
+        return SubgraphBatch(np.empty(0, dtype=np.int64),
+                             np.zeros(batch + 1, dtype=np.int64))
+    rows = np.concatenate(picks_rows)
+    nodes = np.concatenate(picks_nodes)
+    not_root = nodes != roots[rows]
+    rows, nodes = rows[not_root], nodes[not_root]
+    _, first = np.unique(rows * num_nodes + nodes, return_index=True)
+    keep = np.sort(first)
+    rows, nodes = rows[keep], nodes[keep]
+    order = np.argsort(rows, kind="stable")
+    rows, nodes = rows[order], nodes[order]
+    indptr = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=batch), out=indptr[1:])
+    return SubgraphBatch(nodes, indptr)
 
 
 class EtaBFSSampler:
@@ -36,7 +123,8 @@ class EtaBFSSampler:
         Hops ``k`` (sampling depth).
     probability:
         One of ``"chronological"``, ``"reverse"``, ``"uniform"`` or a
-        callable ``(times, t, tau) -> probs``.
+        callable ``(times, t, tau) -> probs``.  The named modes run fully
+        vectorized; a callable is applied segment-by-segment.
     tau:
         Softmax temperature of Eq. 7/8.
     """
@@ -50,15 +138,171 @@ class EtaBFSSampler:
         self.eta = eta
         self.depth = depth
         self.tau = tau
+        self._prob_mode = probability if isinstance(probability, str) else None
         self.probability = (PROBABILITY_FUNCTIONS[probability]
                             if isinstance(probability, str) else probability)
         self._rng = np.random.default_rng(seed)
 
+    # ------------------------------------------------------------------
+    # batched kernel
+    # ------------------------------------------------------------------
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+        """Draw one η-BFS subgraph per ``(root, t)`` row, whole-frontier.
+
+        Rows are expanded hop-by-hop together; each hop is a batched CSR
+        cut query plus one exponential-race draw (Efraimidis–Spirakis:
+        the η smallest ``Exp(1) / w_u`` are exactly a without-replacement
+        sample ∝ ``w``) over all neighbour segments — a handful of numpy
+        passes, no per-segment sort.  Rows with no history before ``t``
+        come back empty.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        f_nodes, f_rows = roots, np.arange(len(roots), dtype=np.int64)
+        picks_rows: list[np.ndarray] = []
+        picks_nodes: list[np.ndarray] = []
+        for _ in range(self.depth):
+            if len(f_nodes) == 0:
+                break
+            starts, ends = self.finder.batch_before(f_nodes, ts[f_rows])
+            deg = ends - starts
+            nz = deg > 0
+            if not nz.any():
+                break
+            picked_nodes, picked_rows = self._expand_hop(
+                starts[nz], ends[nz], deg[nz], f_rows[nz], ts)
+            if len(picked_nodes) == 0:
+                break
+            picks_rows.append(picked_rows)
+            picks_nodes.append(picked_nodes)
+            f_nodes, f_rows = picked_nodes, picked_rows
+        return _assemble(picks_rows, picks_nodes, roots, self.finder.num_nodes)
+
+    def _expand_hop(self, starts: np.ndarray, ends: np.ndarray,
+                    deg: np.ndarray, rows: np.ndarray, ts: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw up to η neighbours for every frontier occurrence at once.
+
+        Occurrences with ``deg <= η`` keep their whole (non-zero-support)
+        candidate set — no randomness needed.  Larger ones race
+        ``Exp(1) / w`` in padded ``(occurrences, width)`` matrices — one
+        per ceil-pow2 degree class, so padding never exceeds 2x — and
+        keep the η smallest via one row-wise ``argpartition``.  Weights
+        are computed once per *unique* ``(cut, t)`` segment, so hub nodes
+        appearing many times in a frontier are scored once.
+        """
+        qts = ts[rows]
+        small = deg <= self.eta
+        out_nodes: list[np.ndarray] = []
+        out_rows: list[np.ndarray] = []
+        if small.any():
+            w, flat, seg_id, _ = self._segment_weights(
+                starts[small], deg[small], qts[small])
+            # Keep the whole support; zero-weight entries (softmax
+            # underflow at sharp τ) are never drawn by choice(p=...), so
+            # the reference draw size is min(η, support) = support here.
+            keep = w > 0.0
+            out_nodes.append(self.finder.neighbors[flat[keep]])
+            out_rows.append(rows[small][seg_id[keep]])
+        big = ~small
+        if big.any():
+            b_start, b_deg = starts[big], deg[big]
+            b_rows, b_t = rows[big], qts[big]
+            # ends uniquely identify the node (the cut lies inside its CSR
+            # slice), so (end, t) identifies the candidate set + weights.
+            key = ends[big] + 1j * b_t
+            _, u_idx, inv = np.unique(key, return_index=True,
+                                      return_inverse=True)
+            u_start, u_deg, u_t = b_start[u_idx], b_deg[u_idx], b_t[u_idx]
+            w, _, seg_id, local = self._segment_weights(u_start, u_deg, u_t)
+            # Bucket unique segments by ceil-pow2 degree: within a class
+            # padding is <= 2x, so the dense scatter stays linear in the
+            # candidate count no matter how wide the hottest hub is.
+            exps = np.ceil(np.log2(u_deg)).astype(np.int64)
+            class_row = np.empty(len(u_deg), dtype=np.int64)
+            for exp in np.unique(exps):
+                seg_sel = exps == exp
+                width = 1 << int(exp)
+                class_row[seg_sel] = np.arange(int(seg_sel.sum()))
+                cand_sel = seg_sel[seg_id]
+                weights = np.zeros((int(seg_sel.sum()), width))
+                weights[class_row[seg_id[cand_sel]], local[cand_sel]] = w[cand_sel]
+                with np.errstate(divide="ignore"):
+                    inv_w = 1.0 / weights  # padding/zero support -> inf race
+                occ_sel = seg_sel[inv]
+                occ_cls = class_row[inv[occ_sel]]
+                occ_start = u_start[inv[occ_sel]]
+                occ_rows = b_rows[occ_sel]
+                # Chunk so the race matrix stays bounded too.
+                chunk = max(1, int(5e7) // width)
+                for lo in range(0, len(occ_cls), chunk):
+                    hi = min(lo + chunk, len(occ_cls))
+                    race = self._rng.exponential(size=(hi - lo, width))
+                    race *= inv_w[occ_cls[lo:hi]]
+                    part = np.argpartition(race, self.eta - 1,
+                                           axis=1)[:, :self.eta]
+                    ok = np.isfinite(np.take_along_axis(race, part, axis=1))
+                    flat_pick = (occ_start[lo:hi][:, None] + part)[ok]
+                    out_nodes.append(self.finder.neighbors[flat_pick])
+                    out_rows.append(occ_rows[lo:hi][np.nonzero(ok)[0]])
+        if not out_nodes:
+            return (np.empty(0, dtype=np.int64),) * 2
+        return np.concatenate(out_nodes), np.concatenate(out_rows)
+
+    def _segment_weights(self, starts: np.ndarray, deg: np.ndarray,
+                         qts: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-candidate sampling weights for concatenated segments.
+
+        Returns ``(weights, flat_csr_index, segment_id, local_offset)``.
+        Weights are each segment's max-shifted softmax numerator — exact up
+        to a per-segment positive constant, which both the race draw and
+        the support test are invariant to.  Entries that underflow to zero
+        mark the outside of the non-zero support (the draw-size clamp the
+        per-root path applies via ``count_nonzero``).
+        """
+        seg_off = np.zeros(len(deg) + 1, dtype=np.int64)
+        np.cumsum(deg, out=seg_off[1:])
+        seg_id = np.repeat(np.arange(len(deg), dtype=np.int64), deg)
+        local = np.arange(seg_off[-1], dtype=np.int64) - seg_off[seg_id]
+        flat = local + starts[seg_id]
+        times = self.finder.times[flat]
+        if self._prob_mode is not None:
+            # Per-segment times are sorted, so min T_i^t is the first entry.
+            seg_min = self.finder.times[starts]
+            logw = segment_log_weights(times, qts[seg_id], seg_min[seg_id],
+                                       self.tau, self._prob_mode)
+        else:
+            logw = np.empty(len(flat), dtype=np.float64)
+            with np.errstate(divide="ignore"):
+                for s in range(len(deg)):
+                    lo, hi = seg_off[s], seg_off[s + 1]
+                    probs = self.probability(times[lo:hi], float(qts[s]),
+                                             self.tau)
+                    logw[lo:hi] = np.log(probs)
+        seg_max = np.maximum.reduceat(logw, seg_off[:-1]) if len(deg) \
+            else np.empty(0)
+        with np.errstate(invalid="ignore"):
+            weights = np.exp(logw - seg_max[seg_id])
+        return weights, flat, seg_id, local
+
+    # ------------------------------------------------------------------
+    # per-root paths
+    # ------------------------------------------------------------------
     def sample(self, root: int, t: float) -> np.ndarray:
         """Return the sampled subgraph's node ids (root excluded).
 
         Nodes are unique; the array is empty when the root has no history
-        before ``t``.
+        before ``t``.  Thin wrapper over :meth:`sample_batch`.
+        """
+        return self.sample_batch(np.array([root], dtype=np.int64),
+                                 np.array([t], dtype=np.float64)).row(0)
+
+    def sample_reference(self, root: int, t: float) -> np.ndarray:
+        """Per-node reference implementation (pre-vectorization semantics).
+
+        Kept as the validation arm of the batched-vs-reference equivalence
+        tests and the "before" side of the sampling benchmarks.
         """
         collected: list[int] = []
         seen = {int(root)}
@@ -70,7 +314,9 @@ class EtaBFSSampler:
                 if len(neighbors) == 0:
                     continue
                 probs = self.probability(times, t, self.tau)
-                count = min(self.eta, len(neighbors))
+                # Clamp to the non-zero support: choice(replace=False)
+                # raises when the softmax underflows below the draw size.
+                count = min(self.eta, int(np.count_nonzero(probs)))
                 chosen = self._rng.choice(len(neighbors), size=count,
                                           replace=False, p=probs)
                 for idx in chosen:
@@ -95,8 +341,41 @@ class EpsilonDFSSampler:
         self.epsilon = epsilon
         self.depth = depth
 
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+        """Draw one ε-DFS subgraph per ``(root, t)`` row, whole-frontier.
+
+        Deterministic: agrees element-for-element (ids *and* order) with
+        running :meth:`sample_reference` row by row.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        f_nodes, f_rows = roots, np.arange(len(roots), dtype=np.int64)
+        picks_rows: list[np.ndarray] = []
+        picks_nodes: list[np.ndarray] = []
+        for _ in range(self.depth):
+            if len(f_nodes) == 0:
+                break
+            neighbors, _, _, mask = self.finder.batch_most_recent(
+                f_nodes, ts[f_rows], self.epsilon)
+            valid = ~mask
+            # Row-major flatten keeps frontier order, then chronological
+            # order within each frontier node — the reference pick order.
+            picked_nodes = neighbors[valid]
+            if len(picked_nodes) == 0:
+                break
+            picked_rows = np.repeat(f_rows, valid.sum(axis=1))
+            picks_rows.append(picked_rows)
+            picks_nodes.append(picked_nodes)
+            f_nodes, f_rows = picked_nodes, picked_rows
+        return _assemble(picks_rows, picks_nodes, roots, self.finder.num_nodes)
+
     def sample(self, root: int, t: float) -> np.ndarray:
         """Return the sampled subgraph's node ids (root excluded)."""
+        return self.sample_batch(np.array([root], dtype=np.int64),
+                                 np.array([t], dtype=np.float64)).row(0)
+
+    def sample_reference(self, root: int, t: float) -> np.ndarray:
+        """Per-node reference implementation (pre-vectorization semantics)."""
         collected: list[int] = []
         seen = {int(root)}
         frontier = [int(root)]
@@ -116,27 +395,92 @@ class EpsilonDFSSampler:
 
 
 class PrecomputedSampler:
-    """Memoising wrapper over either sampler.
+    """Memoising LRU wrapper over either sampler.
 
     Subgraphs depend only on the stream (not on model parameters), so they
     can be computed once per ``(root, t)`` — the preprocessing optimisation
     the paper notes at the end of §IV-A.  Timestamps are quantised to avoid
     float-key pitfalls.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached subgraphs; ``None`` keeps the cache
+        unbounded.  Eviction is least-recently-used.
+
+    ``hits`` / ``misses`` counters feed the cache-vs-online ablation
+    benches; :meth:`cache_info` bundles them.
     """
 
-    def __init__(self, sampler, time_resolution: float = 1e-6):
+    def __init__(self, sampler, time_resolution: float = 1e-6,
+                 capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
         self.sampler = sampler
         self.time_resolution = time_resolution
-        self._cache: dict[tuple[int, int], np.ndarray] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+
+    def _key(self, root: int, t: float) -> tuple[int, int]:
+        return (int(root), int(round(t / self.time_resolution)))
+
+    def _insert(self, key: tuple[int, int], value: np.ndarray) -> None:
+        self._cache[key] = value
+        if self.capacity is not None and len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
 
     def sample(self, root: int, t: float) -> np.ndarray:
-        key = (int(root), int(round(t / self.time_resolution)))
+        key = self._key(root, t)
         hit = self._cache.get(key)
         if hit is None:
+            self.misses += 1
             hit = self.sampler.sample(root, t)
-            self._cache[key] = hit
+            self._insert(key, hit)
+        else:
+            self.hits += 1
+            self._cache.move_to_end(key)
         return hit
+
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+        """Batched lookup; only cache misses hit the underlying sampler.
+
+        Result rows are pinned outside the cache for the duration of the
+        call, so a capacity smaller than the batch's distinct keys only
+        costs extra evictions — never a lost row.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        keys = [self._key(r, t) for r, t in zip(roots, ts)]
+        values: dict[tuple[int, int], np.ndarray] = {}
+        miss_idx: list[int] = []
+        for i, key in enumerate(keys):
+            # Duplicate keys inside one batch behave like the sequential
+            # path: the first occurrence misses, the rest hit.
+            if key in values:
+                continue
+            hit = self._cache.get(key)
+            if hit is None:
+                miss_idx.append(i)
+                values[key] = np.empty(0, dtype=np.int64)  # reserved
+            else:
+                values[key] = hit
+                self._cache.move_to_end(key)
+        if miss_idx:
+            fresh = self.sampler.sample_batch(roots[miss_idx], ts[miss_idx])
+            for row, i in enumerate(miss_idx):
+                sub = fresh.row(row).copy()
+                values[keys[i]] = sub
+                self._insert(keys[i], sub)
+        self.misses += len(miss_idx)
+        self.hits += len(keys) - len(miss_idx)
+        return SubgraphBatch.from_list([values[key] for key in keys])
 
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    def cache_info(self) -> dict[str, int | None]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._cache), "capacity": self.capacity}

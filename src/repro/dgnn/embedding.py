@@ -122,6 +122,8 @@ class TemporalAttentionEmbedding(Module):
             return F.embedding_lookup(ctx.memory, nodes)
 
         batch = len(nodes)
+        # One vectorized CSR query covers the whole layer's neighbourhood
+        # (paper Eq. 1 set N_i^t, most-recent truncation).
         neighbors, times, events, mask = ctx.finder.batch_most_recent(
             nodes, ts, self.n_neighbors)
 

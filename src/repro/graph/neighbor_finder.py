@@ -1,9 +1,21 @@
-"""Temporal neighbourhood queries.
+"""Temporal neighbourhood queries over a flat CSR adjacency.
 
 :class:`NeighborFinder` answers "which events involved node *i* strictly
-before time *t*" in ``O(log deg)`` via per-node time-sorted adjacency — the
-primitive behind the DGNN embedding module (paper Eq. 1, set ``N_i^t``) and
-behind both CPDG samplers (sets ``T_i^t`` of paper §IV-A).
+before time *t*" — the primitive behind the DGNN embedding module (paper
+Eq. 1, set ``N_i^t``) and behind both CPDG samplers (sets ``T_i^t`` of
+paper §IV-A).
+
+The adjacency is one flat CSR structure (``indptr`` / ``neighbors`` /
+``times`` / ``event_ids``) built with vectorized ``lexsort`` —
+construction touches no per-event Python loop and queries come in two
+flavours:
+
+* per-node (``before`` / ``most_recent`` / ``sample_uniform``) — thin
+  ``O(log deg)`` slices of the CSR arrays, kept for single-root callers;
+* batch-first (``batch_before`` / ``batch_most_recent`` /
+  ``batch_sample_uniform``) — operate on whole ``(nodes, ts)`` arrays via
+  a vectorized segment binary search, so cost scales with event count
+  rather than Python interpreter speed.
 """
 
 from __future__ import annotations
@@ -16,51 +28,75 @@ __all__ = ["NeighborFinder"]
 
 
 class NeighborFinder:
-    """Time-sorted adjacency over an :class:`EventStream`.
+    """Time-sorted CSR adjacency over an :class:`EventStream`.
 
     Every event ``(u, v, t)`` is indexed under both endpoints, matching the
     undirected interaction semantics of the paper's user-item graphs.
+    ``indptr`` has ``num_nodes + 1`` entries; node ``i``'s history lives in
+    the flat slice ``[indptr[i], indptr[i + 1])`` of ``neighbors`` /
+    ``times`` / ``event_ids``, sorted by time (event order breaks ties).
     """
 
     def __init__(self, stream: EventStream):
         self.num_nodes = stream.num_nodes
         n_events = stream.num_events
-        # Build arrays-of-arrays: for each node, (neighbor, time, event_idx)
-        # sorted by time.  Events arrive already time-sorted, so appending
-        # in order keeps per-node lists sorted.
-        neighbors: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        times: list[list[float]] = [[] for _ in range(self.num_nodes)]
-        event_ids: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for idx in range(n_events):
-            u = int(stream.src[idx])
-            v = int(stream.dst[idx])
-            t = float(stream.timestamps[idx])
-            neighbors[u].append(v)
-            times[u].append(t)
-            event_ids[u].append(idx)
-            neighbors[v].append(u)
-            times[v].append(t)
-            event_ids[v].append(idx)
-        self._neighbors = [np.asarray(n, dtype=np.int64) for n in neighbors]
-        self._times = [np.asarray(t, dtype=np.float64) for t in times]
-        self._event_ids = [np.asarray(e, dtype=np.int64) for e in event_ids]
+        # Each event appears twice: once under src, once under dst.  The
+        # stream is time-sorted, so sorting the doubled arrays by
+        # (endpoint, event index) yields per-node slices sorted by time
+        # with the same tie order the event list implies.
+        endpoints = np.concatenate([stream.src, stream.dst])
+        peers = np.concatenate([stream.dst, stream.src])
+        eids = np.concatenate([np.arange(n_events, dtype=np.int64)] * 2) \
+            if n_events else np.empty(0, dtype=np.int64)
+        order = np.lexsort((eids, endpoints))
+        self._neighbors = peers[order]
+        self._times = np.tile(stream.timestamps, 2)[order]
+        self._event_ids = eids[order]
+        counts = np.bincount(endpoints, minlength=self.num_nodes)
+        self._indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
 
     # ------------------------------------------------------------------
-    # queries
+    # CSR views
     # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def neighbors(self) -> np.ndarray:
+        return self._neighbors
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times
+
+    @property
+    def event_ids(self) -> np.ndarray:
+        return self._event_ids
+
+    # ------------------------------------------------------------------
+    # per-node queries (thin slices over the CSR arrays)
+    # ------------------------------------------------------------------
+    def _cut(self, node: int, t: float) -> tuple[int, int]:
+        lo = int(self._indptr[node])
+        hi = int(self._indptr[node + 1])
+        return lo, lo + int(np.searchsorted(self._times[lo:hi], t, side="left"))
+
     def degree(self, node: int, t: float = np.inf) -> int:
         """Number of interactions of ``node`` strictly before ``t``."""
-        return int(np.searchsorted(self._times[node], t, side="left"))
+        lo, cut = self._cut(node, t)
+        return cut - lo
 
     def before(self, node: int, t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All ``(neighbors, times, event_ids)`` of events strictly before ``t``.
 
         This realises the paper's ``N_i^t`` / ``T_i^t`` in one call.
         """
-        cut = np.searchsorted(self._times[node], t, side="left")
-        return (self._neighbors[node][:cut],
-                self._times[node][:cut],
-                self._event_ids[node][:cut])
+        lo, cut = self._cut(node, t)
+        return (self._neighbors[lo:cut],
+                self._times[lo:cut],
+                self._event_ids[lo:cut])
 
     def most_recent(self, node: int, t: float, count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The ``count`` most recent events before ``t`` (paper Eq. 5 order).
@@ -68,10 +104,11 @@ class NeighborFinder:
         Returned in chronological order; fewer rows when the node has fewer
         interactions.
         """
-        neighbors, times, ids = self.before(node, t)
-        if len(neighbors) > count:
-            neighbors, times, ids = neighbors[-count:], times[-count:], ids[-count:]
-        return neighbors, times, ids
+        lo, cut = self._cut(node, t)
+        lo = max(lo, cut - count)
+        return (self._neighbors[lo:cut],
+                self._times[lo:cut],
+                self._event_ids[lo:cut])
 
     def sample_uniform(self, node: int, t: float, count: int,
                        rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -86,26 +123,94 @@ class NeighborFinder:
         chosen = rng.integers(0, len(neighbors), size=count)
         return neighbors[chosen], times[chosen], ids[chosen]
 
+    # ------------------------------------------------------------------
+    # batch-first queries
+    # ------------------------------------------------------------------
+    def batch_before(self, nodes: np.ndarray, ts: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized cut-point query for a whole ``(nodes, ts)`` batch.
+
+        Returns ``(starts, ends)`` such that row ``i``'s history strictly
+        before ``ts[i]`` is the flat CSR slice
+        ``neighbors[starts[i]:ends[i]]`` (and likewise ``times`` /
+        ``event_ids``); ``ends - starts`` is the batched ``degree``.
+
+        The search is a manual binary search over all rows at once —
+        ``O(log max_deg)`` numpy passes instead of one Python iteration
+        per row.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        starts = self._indptr[nodes]
+        lo = starts.copy()
+        hi = self._indptr[nodes + 1].copy()
+        if len(self._times) and len(nodes):
+            max_gap = int((hi - lo).max())
+            # Invariant: the cut point lies in [lo, hi]; once lo == hi the
+            # row is settled and further iterations leave it unchanged, so
+            # a fixed ceil(log2) iteration count needs no active mask.
+            for _ in range(max(max_gap, 1).bit_length()):
+                mid = (lo + hi) >> 1
+                go_right = (self._times[np.minimum(mid, len(self._times) - 1)] < ts) & (lo < hi)
+                lo = np.where(go_right, mid + 1, lo)
+                hi = np.where(go_right, hi, np.maximum(mid, lo))
+        return starts, lo
+
+    def batch_degree(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Batched :meth:`degree`: interactions strictly before each ``ts``."""
+        starts, ends = self.batch_before(nodes, ts)
+        return ends - starts
+
     def batch_most_recent(self, nodes: np.ndarray, ts: np.ndarray, count: int
                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Padded batch variant of :meth:`most_recent`.
+        """Padded batch variant of :meth:`most_recent`, fully vectorized.
 
         Returns ``(neighbors, times, event_ids, mask)`` with shapes
         ``(B, count)``; ``mask`` is True on *padded* (invalid) slots.
         Padding sits on the left so valid entries stay chronologically
-        ordered on the right.
+        ordered on the right; padded slots hold zeros.
         """
-        batch = len(nodes)
-        out_neighbors = np.zeros((batch, count), dtype=np.int64)
-        out_times = np.zeros((batch, count), dtype=np.float64)
-        out_events = np.zeros((batch, count), dtype=np.int64)
-        mask = np.ones((batch, count), dtype=bool)
-        for row, (node, t) in enumerate(zip(nodes, ts)):
-            neighbors, times, events = self.most_recent(int(node), float(t), count)
-            k = len(neighbors)
-            if k:
-                out_neighbors[row, count - k:] = neighbors
-                out_times[row, count - k:] = times
-                out_events[row, count - k:] = events
-                mask[row, count - k:] = False
-        return out_neighbors, out_times, out_events, mask
+        starts, ends = self.batch_before(nodes, ts)
+        if len(self._neighbors) == 0:
+            batch = len(starts)
+            return (np.zeros((batch, count), dtype=np.int64),
+                    np.zeros((batch, count), dtype=np.float64),
+                    np.zeros((batch, count), dtype=np.int64),
+                    np.ones((batch, count), dtype=bool))
+        k = np.minimum(ends - starts, count)
+        cols = np.arange(count, dtype=np.int64)
+        # Column c of row i maps to flat slot ends[i] - count + c; only the
+        # rightmost k[i] columns are in range.
+        idx = ends[:, None] - count + cols[None, :]
+        valid = cols[None, :] >= (count - k)[:, None]
+        safe = np.where(valid, idx, 0)
+        out_neighbors = np.where(valid, self._neighbors[safe], 0)
+        out_times = np.where(valid, self._times[safe], 0.0)
+        out_events = np.where(valid, self._event_ids[safe], 0)
+        return out_neighbors, out_times, out_events, ~valid
+
+    def batch_sample_uniform(self, nodes: np.ndarray, ts: np.ndarray, count: int,
+                             rng: np.random.Generator
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`sample_uniform`: ``count`` draws with replacement.
+
+        Returns ``(neighbors, times, event_ids, mask)`` with shapes
+        ``(B, count)``; rows with empty history are fully masked.
+        """
+        starts, ends = self.batch_before(nodes, ts)
+        deg = ends - starts
+        if len(self._neighbors) == 0:
+            batch = len(deg)
+            return (np.zeros((batch, count), dtype=np.int64),
+                    np.zeros((batch, count), dtype=np.float64),
+                    np.zeros((batch, count), dtype=np.int64),
+                    np.ones((batch, count), dtype=bool))
+        empty = deg == 0
+        offsets = (rng.random((len(deg), count)) * np.maximum(deg, 1)[:, None]).astype(np.int64)
+        idx = starts[:, None] + offsets
+        safe = np.where(empty[:, None], 0, idx)
+        mask = np.broadcast_to(empty[:, None], safe.shape)
+        return (np.where(mask, 0, self._neighbors[safe]),
+                np.where(mask, 0.0, self._times[safe]),
+                np.where(mask, 0, self._event_ids[safe]),
+                mask.copy())

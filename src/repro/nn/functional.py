@@ -14,7 +14,8 @@ from .autograd import Tensor, as_tensor
 __all__ = [
     "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "softmax",
     "log_softmax", "concatenate", "stack", "embedding_lookup", "dropout",
-    "clip", "sqrt", "abs_", "where", "scatter_mean", "l2_normalize",
+    "clip", "sqrt", "abs_", "where", "scatter_mean", "scatter_sum",
+    "scatter_max", "l2_normalize",
     "pairwise_sq_dist", "euclidean_distance", "cosine_similarity",
     "scatter_rows",
 ]
@@ -247,6 +248,48 @@ def scatter_mean(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     if out.requires_grad:
         def _backward(grad):
             values._accumulate(grad[groups] / safe_counts[groups][:, None])
+        out._backward = _backward
+    return out
+
+
+def scatter_sum(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
+    """Sum-pool row vectors into ``num_groups`` buckets; empty buckets are zero.
+
+    The sum-pooling arm of the subgraph readout (paper Eq. 9 alternatives).
+    """
+    values = as_tensor(values)
+    groups = np.asarray(groups, dtype=np.int64)
+    data = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+    np.add.at(data, groups, values.data)
+    out = values._make_child(data, (values,))
+    if out.requires_grad:
+        def _backward(grad):
+            values._accumulate(grad[groups])
+        out._backward = _backward
+    return out
+
+
+def scatter_max(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
+    """Max-pool row vectors into ``num_groups`` buckets; empty buckets are zero.
+
+    Gradient splits equally among tied maxima within a bucket, matching
+    ``Tensor.max`` so the scatter readout is a drop-in for row-by-row
+    pooling.
+    """
+    values = as_tensor(values)
+    groups = np.asarray(groups, dtype=np.int64)
+    maxes = np.full((num_groups, values.shape[-1]), -np.inf, dtype=np.float64)
+    np.maximum.at(maxes, groups, values.data)
+    data = np.where(np.isneginf(maxes), 0.0, maxes)
+    out = values._make_child(data, (values,))
+    if out.requires_grad:
+        argmask = (values.data == maxes[groups]).astype(np.float64)
+        ties = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+        np.add.at(ties, groups, argmask)
+        argmask /= np.maximum(ties, 1.0)[groups]
+
+        def _backward(grad):
+            values._accumulate(grad[groups] * argmask)
         out._backward = _backward
     return out
 

@@ -1,0 +1,363 @@
+"""Batched-vs-reference equivalence for the CSR sampling engine.
+
+Property tests (hypothesis over random event streams) asserting that the
+vectorized batch queries — ``batch_before`` / ``batch_most_recent`` /
+``batch_sample_uniform`` — and the whole-frontier ``sample_batch`` kernels
+agree with the per-node reference implementations element-for-element,
+including empty-history and all-padded rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EpsilonDFSSampler, EtaBFSSampler, PrecomputedSampler,
+                        SubgraphBatch)
+from repro.graph import EventStream, NeighborFinder
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def random_stream(seed: int, num_nodes: int, num_events: int) -> EventStream:
+    rng = np.random.default_rng(seed)
+    return EventStream(
+        src=rng.integers(0, num_nodes, num_events),
+        dst=rng.integers(0, num_nodes, num_events),
+        timestamps=np.sort(rng.random(num_events) * 100.0),
+        num_nodes=num_nodes,
+    )
+
+
+def random_queries(seed: int, num_nodes: int, batch: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Query rows spanning empty histories (t near 0) to full ones."""
+    rng = np.random.default_rng(seed + 1)
+    nodes = rng.integers(0, num_nodes, batch)
+    ts = rng.random(batch) * 130.0  # beyond t_max to cover full histories
+    ts[: batch // 4] = 0.0          # guaranteed all-padded rows
+    return nodes, ts
+
+
+stream_params = st.tuples(
+    st.integers(min_value=0, max_value=2 ** 31 - 1),   # seed
+    st.integers(min_value=2, max_value=40),            # num_nodes
+    st.integers(min_value=0, max_value=300),           # num_events
+)
+
+
+class TestBatchQueries:
+    @settings(max_examples=25, deadline=None)
+    @given(stream_params)
+    def test_batch_before_matches_per_node(self, params):
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        nodes, ts = random_queries(seed, num_nodes, 32)
+        starts, ends = finder.batch_before(nodes, ts)
+        for i in range(len(nodes)):
+            neighbors, times, events = finder.before(int(nodes[i]), float(ts[i]))
+            np.testing.assert_array_equal(
+                neighbors, finder.neighbors[starts[i]:ends[i]])
+            np.testing.assert_array_equal(
+                times, finder.times[starts[i]:ends[i]])
+            np.testing.assert_array_equal(
+                events, finder.event_ids[starts[i]:ends[i]])
+            assert ends[i] - starts[i] == finder.degree(int(nodes[i]), float(ts[i]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(stream_params, st.integers(min_value=1, max_value=12))
+    def test_batch_most_recent_matches_per_node(self, params, count):
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        nodes, ts = random_queries(seed, num_nodes, 32)
+        out_n, out_t, out_e, mask = finder.batch_most_recent(nodes, ts, count)
+        assert out_n.shape == out_t.shape == out_e.shape == mask.shape == (32, count)
+        for i in range(len(nodes)):
+            neighbors, times, events = finder.most_recent(
+                int(nodes[i]), float(ts[i]), count)
+            k = len(neighbors)
+            # Left padding: zeros + True mask, valid suffix chronological.
+            assert mask[i, :count - k].all()
+            assert not mask[i, count - k:].any()
+            np.testing.assert_array_equal(out_n[i, count - k:], neighbors)
+            np.testing.assert_array_equal(out_t[i, count - k:], times)
+            np.testing.assert_array_equal(out_e[i, count - k:], events)
+            assert out_n[i, :count - k].sum() == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream_params)
+    def test_batch_sample_uniform_draws_from_history(self, params):
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        nodes, ts = random_queries(seed, num_nodes, 32)
+        rng = np.random.default_rng(0)
+        out_n, out_t, out_e, mask = finder.batch_sample_uniform(nodes, ts, 6, rng)
+        for i in range(len(nodes)):
+            neighbors, times, events = finder.before(int(nodes[i]), float(ts[i]))
+            if len(neighbors) == 0:
+                assert mask[i].all()
+                continue
+            assert not mask[i].any()
+            valid_events = set(events.tolist())
+            assert set(out_e[i].tolist()) <= valid_events
+            assert (out_t[i] < ts[i]).all()
+
+    def test_empty_query_batch(self):
+        finder = NeighborFinder(random_stream(1, 10, 50))
+        none = np.empty(0, dtype=np.int64)
+        no_ts = np.empty(0, dtype=np.float64)
+        starts, ends = finder.batch_before(none, no_ts)
+        assert len(starts) == len(ends) == 0
+        out = finder.batch_most_recent(none, no_ts, 5)
+        assert all(a.shape == (0, 5) for a in out)
+        out = finder.batch_sample_uniform(none, no_ts, 5,
+                                          np.random.default_rng(0))
+        assert all(a.shape == (0, 5) for a in out)
+
+    def test_empty_stream_all_padded(self):
+        finder = NeighborFinder(EventStream(src=[], dst=[], timestamps=[],
+                                            num_nodes=5))
+        nodes = np.array([0, 3])
+        ts = np.array([1.0, 2.0])
+        starts, ends = finder.batch_before(nodes, ts)
+        assert (starts == ends).all()
+        _, _, _, mask = finder.batch_most_recent(nodes, ts, 4)
+        assert mask.all()
+        _, _, _, mask = finder.batch_sample_uniform(
+            nodes, ts, 4, np.random.default_rng(0))
+        assert mask.all()
+
+
+class TestEpsilonDFSEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(stream_params, st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=3))
+    def test_sample_batch_matches_reference_exactly(self, params, epsilon, depth):
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        sampler = EpsilonDFSSampler(finder, epsilon=epsilon, depth=depth)
+        nodes, ts = random_queries(seed, num_nodes, 24)
+        batch = sampler.sample_batch(nodes, ts)
+        assert len(batch) == 24
+        for i in range(24):
+            reference = sampler.sample_reference(int(nodes[i]), float(ts[i]))
+            np.testing.assert_array_equal(batch.row(i), reference)
+
+    def test_per_root_sample_is_batch_row(self):
+        finder = NeighborFinder(random_stream(3, 30, 200))
+        sampler = EpsilonDFSSampler(finder, epsilon=3, depth=2)
+        np.testing.assert_array_equal(sampler.sample(5, 90.0),
+                                      sampler.sample_batch(
+                                          np.array([5]), np.array([90.0])).row(0))
+
+
+class TestEtaBFSEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(stream_params, st.integers(min_value=1, max_value=3))
+    def test_exhaustive_width_matches_reference_sets(self, params, depth):
+        """With η ≥ every degree both paths select all neighbours, so the
+        sampled node *sets* are deterministic and must coincide."""
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        sampler = EtaBFSSampler(finder, eta=1000, depth=depth,
+                                probability="uniform", seed=0)
+        nodes, ts = random_queries(seed, num_nodes, 16)
+        batch = sampler.sample_batch(nodes, ts)
+        for i in range(16):
+            reference = sampler.sample_reference(int(nodes[i]), float(ts[i]))
+            assert set(batch.row(i).tolist()) == set(reference.tolist())
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream_params, st.sampled_from(["chronological", "reverse", "uniform"]))
+    def test_batch_respects_width_time_and_root_exclusion(self, params, mode):
+        seed, num_nodes, num_events = params
+        finder = NeighborFinder(random_stream(seed, num_nodes, num_events))
+        sampler = EtaBFSSampler(finder, eta=2, depth=1, probability=mode, seed=1)
+        nodes, ts = random_queries(seed, num_nodes, 24)
+        batch = sampler.sample_batch(nodes, ts)
+        for i in range(24):
+            row = batch.row(i)
+            assert len(row) <= 2
+            assert int(nodes[i]) not in row
+            assert len(set(row.tolist())) == len(row)
+            valid, _, _ = finder.before(int(nodes[i]), float(ts[i]))
+            assert set(row.tolist()) <= set(valid.tolist())
+
+    def test_chronological_distribution_matches_reference(self):
+        """Gumbel top-k and sequential choice() draw the same marginals."""
+        stream = EventStream(src=[0] * 5, dst=[1, 2, 3, 4, 5],
+                             timestamps=[1.0, 2.0, 3.0, 4.0, 5.0], num_nodes=6)
+        finder = NeighborFinder(stream)
+        sampler = EtaBFSSampler(finder, eta=1, depth=1,
+                                probability="chronological", tau=0.2, seed=0)
+        trials = 4000
+        batch = sampler.sample_batch(np.zeros(trials, dtype=np.int64),
+                                     np.full(trials, 6.0))
+        batch_counts = np.bincount(batch.nodes, minlength=6)
+        ref_counts = np.zeros(6, dtype=np.int64)
+        for _ in range(trials):
+            for node in sampler.sample_reference(0, 6.0):
+                ref_counts[node] += 1
+        # Same expected frequencies: compare within 4-sigma of binomial noise.
+        probs = ref_counts[1:] / trials
+        sigma = np.sqrt(np.maximum(probs * (1 - probs) / trials, 1e-12))
+        np.testing.assert_allclose(batch_counts[1:] / trials, probs,
+                                   atol=float(4 * sigma.max()) + 0.01)
+
+    def test_custom_callable_probability_still_works(self):
+        finder = NeighborFinder(random_stream(9, 20, 150))
+
+        def first_only(times, t, tau):
+            probs = np.zeros(len(times))
+            probs[0] = 1.0
+            return probs
+
+        sampler = EtaBFSSampler(finder, eta=3, depth=1,
+                                probability=first_only, seed=0)
+        nodes, ts = random_queries(9, 20, 12)
+        batch = sampler.sample_batch(nodes, ts)
+        for i in range(12):
+            neighbors, _, _ = finder.before(int(nodes[i]), float(ts[i]))
+            if len(neighbors) == 0:
+                assert len(batch.row(i)) == 0
+            else:
+                expected = {int(neighbors[0])} - {int(nodes[i])}
+                assert set(batch.row(i).tolist()) == expected
+
+
+class TestUnderflowRegression:
+    """`rng.choice(..., replace=False, p=probs)` used to raise when the
+    Eq. 7/8 softmax underflowed to fewer non-zero entries than η."""
+
+    def wide_spread_finder(self):
+        # Times spread so far apart that softmax(recency / tau) underflows
+        # everything except the favoured end at tau = 1e-5.
+        stream = EventStream(src=[0] * 5, dst=[1, 2, 3, 4, 5],
+                             timestamps=[1.0, 2.0, 3.0, 4.0, 5.0], num_nodes=6)
+        return NeighborFinder(stream)
+
+    @pytest.mark.parametrize("mode,survivor", [("chronological", 5),
+                                               ("reverse", 1)])
+    def test_draw_clamped_to_nonzero_support(self, mode, survivor):
+        finder = self.wide_spread_finder()
+        sampler = EtaBFSSampler(finder, eta=4, depth=1, probability=mode,
+                                tau=1e-5, seed=0)
+        for path in (sampler.sample, sampler.sample_reference):
+            result = path(0, 6.0)
+            assert result.tolist() == [survivor]
+
+    @pytest.mark.parametrize("mode", ["chronological", "reverse"])
+    def test_batch_draw_clamped(self, mode):
+        finder = self.wide_spread_finder()
+        sampler = EtaBFSSampler(finder, eta=4, depth=2, probability=mode,
+                                tau=1e-5, seed=0)
+        batch = sampler.sample_batch(np.zeros(8, dtype=np.int64),
+                                     np.full(8, 6.0))
+        assert all(len(batch.row(i)) >= 1 for i in range(8))
+
+
+class TestSubgraphBatch:
+    def test_roundtrip_from_list(self):
+        subs = [np.array([3, 1]), np.array([], dtype=np.int64), np.array([2])]
+        batch = SubgraphBatch.from_list(subs)
+        assert len(batch) == 3
+        assert batch.counts().tolist() == [2, 0, 1]
+        assert batch.groups().tolist() == [0, 0, 2]
+        for got, want in zip(batch, subs):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(batch.to_list(), subs):
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_batch(self):
+        batch = SubgraphBatch.from_list([])
+        assert len(batch) == 0
+        assert len(batch.nodes) == 0
+
+    def test_readout_accepts_batch_and_list_identically(self):
+        memory = Tensor(np.arange(20, dtype=float).reshape(5, 4))
+        subs = [np.array([0, 2]), np.array([], dtype=np.int64), np.array([4])]
+        batch = SubgraphBatch.from_list(subs)
+        from repro.core import subgraph_readout
+        for mode in ("mean", "max", "sum"):
+            np.testing.assert_allclose(
+                subgraph_readout(memory, batch, mode).data,
+                subgraph_readout(memory, subs, mode).data)
+
+
+class TestScatterPools:
+    def test_scatter_sum_forward_backward(self):
+        values = Tensor(np.arange(12, dtype=float).reshape(4, 3),
+                        requires_grad=True)
+        groups = np.array([0, 0, 2, 2])
+        out = F.scatter_sum(values, groups, 3)
+        np.testing.assert_allclose(out.data[0], values.data[:2].sum(axis=0))
+        np.testing.assert_allclose(out.data[1], np.zeros(3))
+        out.sum().backward()
+        np.testing.assert_allclose(values.grad, np.ones((4, 3)))
+
+    def test_scatter_max_matches_rowwise_max(self):
+        rng = np.random.default_rng(0)
+        values = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        out = F.scatter_max(values, groups, 3)
+        np.testing.assert_allclose(out.data[0], values.data[:3].max(axis=0))
+        np.testing.assert_allclose(out.data[1], values.data[3:].max(axis=0))
+        np.testing.assert_allclose(out.data[2], np.zeros(4))
+        out.sum().backward()
+        # Each column routes its unit gradient to the argmax row per group.
+        np.testing.assert_allclose(values.grad.sum(axis=0), np.full(4, 2.0))
+
+    def test_scatter_max_tie_gradient_splits(self):
+        values = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = F.scatter_max(values, np.array([0, 0]), 1)
+        out.sum().backward()
+        np.testing.assert_allclose(values.grad, np.full((2, 3), 0.5))
+
+
+class TestStructuralNegativeGuard:
+    def test_single_node_graph_fails_fast(self):
+        from repro.core import StructuralContrast
+        stream = EventStream(src=[0], dst=[0], timestamps=[1.0], num_nodes=1)
+        contrast = StructuralContrast(NeighborFinder(stream), epsilon=2,
+                                      depth=1, seed=0)
+        with pytest.raises(ValueError):
+            contrast.sample_pairs(np.array([0]), np.array([2.0]), 1)
+
+
+class TestPrecomputedBatch:
+    def test_sample_batch_uses_cache(self):
+        finder = NeighborFinder(random_stream(5, 25, 150))
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 3, 2))
+        nodes, ts = random_queries(5, 25, 16)
+        first = cached.sample_batch(nodes, ts)
+        assert cached.misses == len(np.unique(
+            [cached._key(r, t) for r, t in zip(nodes, ts)], axis=0))
+        before_hits = cached.hits
+        second = cached.sample_batch(nodes, ts)
+        assert cached.hits == before_hits + 16
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_capacity_smaller_than_batch_still_returns_rows(self):
+        finder = NeighborFinder(random_stream(7, 25, 150))
+        online = EpsilonDFSSampler(finder, 3, 2)
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 3, 2),
+                                    capacity=2)
+        nodes, ts = random_queries(7, 25, 16)
+        batch = cached.sample_batch(nodes, ts)   # must survive evictions
+        reference = online.sample_batch(nodes, ts)
+        assert cached.cache_size <= 2
+        for a, b in zip(batch, reference):
+            np.testing.assert_array_equal(a, b)
+
+    def test_batch_matches_online(self):
+        finder = NeighborFinder(random_stream(6, 25, 150))
+        online = EpsilonDFSSampler(finder, 3, 2)
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 3, 2))
+        nodes, ts = random_queries(6, 25, 16)
+        batch = cached.sample_batch(nodes, ts)
+        reference = online.sample_batch(nodes, ts)
+        for a, b in zip(batch, reference):
+            np.testing.assert_array_equal(a, b)

@@ -166,3 +166,39 @@ class TestPrecomputedSampler:
         cached = PrecomputedSampler(EpsilonDFSSampler(finder, 2, 2))
         np.testing.assert_array_equal(cached.sample(0, 6.0),
                                       inner.sample(0, 6.0))
+
+    def test_hit_miss_counters(self):
+        finder = NeighborFinder(star_stream())
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 2, 1))
+        cached.sample(0, 6.0)
+        cached.sample(0, 6.0)
+        cached.sample(0, 5.0)
+        assert cached.hits == 1
+        assert cached.misses == 2
+        info = cached.cache_info()
+        assert info == {"hits": 1, "misses": 2, "size": 2, "capacity": None}
+
+    def test_capacity_bounds_cache(self):
+        finder = NeighborFinder(star_stream())
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 2, 1), capacity=2)
+        for t in (3.0, 4.0, 5.0, 6.0):
+            cached.sample(0, t)
+        assert cached.cache_size == 2
+
+    def test_lru_evicts_least_recently_used(self):
+        finder = NeighborFinder(star_stream())
+        cached = PrecomputedSampler(EpsilonDFSSampler(finder, 2, 1), capacity=2)
+        cached.sample(0, 3.0)
+        cached.sample(0, 4.0)
+        cached.sample(0, 3.0)        # refresh (0, 3.0)
+        cached.sample(0, 5.0)        # evicts (0, 4.0)
+        assert cached.hits == 1
+        cached.sample(0, 3.0)
+        assert cached.hits == 2      # survived eviction
+        cached.sample(0, 4.0)
+        assert cached.misses == 4    # 3.0, 4.0, 5.0, then 4.0 again
+
+    def test_rejects_bad_capacity(self):
+        finder = NeighborFinder(star_stream())
+        with pytest.raises(ValueError):
+            PrecomputedSampler(EpsilonDFSSampler(finder, 2, 1), capacity=0)
