@@ -1,0 +1,193 @@
+"""Before/after throughput of the sparse-delta memory engine.
+
+Times full CPDG pre-training (Algorithm 1) two ways at each scale:
+
+* *before* — ``memory_engine="dense"``: the full-matrix reference flush
+  (one ``(num_nodes, D)`` copy per batch, dense-table gradients), the
+  shape of the pre-sparse implementation;
+* *after* — ``memory_engine="sparse"``: the
+  :class:`~repro.dgnn.memory.SparseMemoryView` delta path whose per-batch
+  cost is O(touched rows).
+
+The headline steps/sec comes from un-instrumented
+:meth:`CPDGPreTrainer.pretrain` wall time; a per-stage breakdown
+(flush+embed / contrast / backward+clip / optimizer / staging) comes
+from an instrumented replica of the same loop.  Two scales are measured:
+MEDIUM (num_nodes comparable to batch size) and LARGE
+(num_nodes ≫ batch_size — where O(touched) beats O(num_nodes)).
+
+Writes ``BENCH_pretrain.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_pretrain_bench.py [--out PATH] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.core.contrast import StructuralContrast, TemporalContrast
+from repro.graph import NeighborFinder, chronological_batches
+from repro.graph.events import EventStream
+from repro.nn import Adam, clip_grad_norm, default_dtype
+
+SCALES = {
+    "medium": dict(num_nodes=2_000, events=1_000, batch_size=200,
+                   memory_dim=32, embed_dim=32),
+    "large": dict(num_nodes=400_000, events=600, batch_size=100,
+                  memory_dim=64, embed_dim=64),
+}
+
+SMOKE_SCALES = {
+    "medium": dict(num_nodes=200, events=120, batch_size=60,
+                   memory_dim=8, embed_dim=8),
+    "large": dict(num_nodes=5_000, events=120, batch_size=60,
+                  memory_dim=8, embed_dim=8),
+}
+
+STAGES = ("flush_embed", "contrast", "backward", "optimizer", "staging")
+
+
+def synthetic_stream(num_nodes: int, events: int, seed: int = 0) -> EventStream:
+    """Random bipartite stream: sources in the lower half, dests upper."""
+    rng = np.random.default_rng(seed)
+    return EventStream(
+        src=rng.integers(0, num_nodes // 2, events),
+        dst=rng.integers(num_nodes // 2, num_nodes, events),
+        timestamps=np.sort(rng.uniform(0.0, 1000.0, events)),
+        num_nodes=num_nodes,
+        name=f"bench-{num_nodes}n-{events}e",
+    )
+
+
+def scale_config(engine: str, params: dict) -> CPDGConfig:
+    return CPDGConfig(
+        epochs=1, batch_size=params["batch_size"],
+        memory_dim=params["memory_dim"], embed_dim=params["embed_dim"],
+        edge_dim=0, memory_engine=engine, num_checkpoints=2,
+        precompute_samplers=False, seed=0)
+
+
+def timed_pretrain(engine: str, stream: EventStream, params: dict) -> float:
+    """Un-instrumented steps/sec of the real pre-training loop."""
+    cfg = scale_config(engine, params)
+    trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, cfg)
+    start = time.perf_counter()
+    trainer.pretrain(stream)
+    elapsed = time.perf_counter() - start
+    steps = int(np.ceil(stream.num_events / cfg.batch_size))
+    return steps / elapsed
+
+
+def stage_breakdown(engine: str, stream: EventStream, params: dict) -> dict[str, float]:
+    """Seconds/step per pipeline stage, from an instrumented replica of
+    :meth:`CPDGPreTrainer.pretrain` (same ops, explicit timers)."""
+    cfg = scale_config(engine, params)
+    trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, cfg)
+    encoder, pretext = trainer.encoder, trainer.pretext
+    finder = NeighborFinder(stream)
+    with default_dtype(cfg.np_dtype):
+        encoder.attach(stream, finder)
+        encoder.reset_memory()
+        temporal = TemporalContrast(finder, cfg.eta, cfg.depth, tau=cfg.tau,
+                                    margin=cfg.margin, seed=cfg.seed)
+        structural = StructuralContrast(finder, cfg.epsilon, cfg.depth,
+                                        margin=cfg.margin, seed=cfg.seed + 7)
+        params_all = encoder.parameters() + pretext.parameters()
+        optimizer = Adam(params_all, lr=cfg.learning_rate)
+        totals = dict.fromkeys(STAGES, 0.0)
+        steps = 0
+        rng = np.random.default_rng(cfg.seed)
+        for batch in chronological_batches(stream, cfg.batch_size, rng):
+            steps += 1
+            t0 = time.perf_counter()
+            z_src = encoder.compute_embedding(batch.src, batch.timestamps)
+            z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
+            z_neg = encoder.compute_embedding(batch.neg_dst, batch.timestamps)
+            memory = encoder.flush_messages()
+            t1 = time.perf_counter()
+            loss_eta = temporal.loss(z_src, memory, batch.src, batch.timestamps)
+            loss_eps = structural.loss(z_src, memory, batch.src,
+                                       batch.timestamps, stream.num_nodes)
+            loss = (pretext.loss(z_src, z_dst, z_neg)
+                    + (1.0 - cfg.beta) * loss_eta + cfg.beta * loss_eps)
+            t2 = time.perf_counter()
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(params_all, cfg.grad_clip)
+            t3 = time.perf_counter()
+            optimizer.step()
+            t4 = time.perf_counter()
+            encoder.register_batch(batch)
+            encoder.end_batch()
+            t5 = time.perf_counter()
+            for stage, dt in zip(STAGES, (t1 - t0, t2 - t1, t3 - t2,
+                                          t4 - t3, t5 - t4)):
+                totals[stage] += dt
+    return {stage: round(total / max(steps, 1), 6)
+            for stage, total in totals.items()}
+
+
+def bench_scale(name: str, params: dict, repeats: int) -> dict:
+    stream = synthetic_stream(params["num_nodes"], params["events"])
+    rates = {}
+    for engine in ("dense", "sparse"):
+        rates[engine] = max(timed_pretrain(engine, stream, params)
+                            for _ in range(repeats))
+    row = {
+        **{k: params[k] for k in ("num_nodes", "events", "batch_size",
+                                  "memory_dim")},
+        "before_steps_per_sec": round(rates["dense"], 2),
+        "after_steps_per_sec": round(rates["sparse"], 2),
+        "speedup": round(rates["sparse"] / rates["dense"], 2),
+        "stage_seconds_per_step": {
+            engine: stage_breakdown(engine, stream, params)
+            for engine in ("dense", "sparse")
+        },
+    }
+    return row
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_pretrain.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scales + 1 repeat: correctness-only fast "
+                             "path for CI (no timing claims)")
+    args = parser.parse_args()
+
+    scales = SMOKE_SCALES if args.smoke else SCALES
+    repeats = 1 if args.smoke else args.repeats
+    cases = {name: bench_scale(name, params, repeats)
+             for name, params in scales.items()}
+    payload = {
+        "metric": "pre-training steps per second (one step = one batch of "
+                  "Algorithm 1: embed + contrasts + backward + update)",
+        "backbone": "tgn",
+        "dtype": "float32",
+        "before": "memory_engine=dense (full-matrix reference flush)",
+        "after": "memory_engine=sparse (O(touched rows) delta flush)",
+        "smoke": bool(args.smoke),
+        "cases": cases,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, row in cases.items():
+        print(f"{name:8s} nodes={row['num_nodes']:>7d} "
+              f"{row['before_steps_per_sec']:>8.2f} -> "
+              f"{row['after_steps_per_sec']:>8.2f} steps/s "
+              f"({row['speedup']:.2f}x)")
+    print(f"wrote {args.out}")
+    slow = [n for n, row in cases.items() if row["speedup"] < 1.0]
+    return 1 if (slow and not args.smoke) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the sparse-delta memory engine vs the dense path.
+
+Times one full encoder step (flush staged messages → embed a batch →
+backward) under each ``memory_engine`` on a node space much larger than
+the batch, isolating the O(touched rows) vs O(num_nodes) difference that
+``run_pretrain_bench.py`` measures end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dgnn import make_encoder
+from repro.graph import chronological_batches
+from repro.graph.events import EventStream
+
+NUM_NODES = 50_000
+EVENTS = 600
+BATCH = 200
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    return EventStream(
+        src=rng.integers(0, NUM_NODES // 2, EVENTS),
+        dst=rng.integers(NUM_NODES // 2, NUM_NODES, EVENTS),
+        timestamps=np.sort(rng.uniform(0.0, 1000.0, EVENTS)),
+        num_nodes=NUM_NODES,
+    )
+
+
+def warmed_encoder(stream, engine):
+    rng = np.random.default_rng(0)
+    enc = make_encoder("tgn", stream.num_nodes, rng, memory_dim=32,
+                       embed_dim=32, time_dim=8, edge_dim=0, n_neighbors=10,
+                       memory_engine=engine)
+    enc.attach(stream)
+    for batch in chronological_batches(stream, BATCH, rng):
+        enc.flush_messages()
+        enc.register_batch(batch)
+        enc.end_batch()
+    return enc
+
+
+class TestMemoryEngineMicro:
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    def test_flush_embed_backward(self, benchmark, stream, engine):
+        enc = warmed_encoder(stream, engine)
+        rng = np.random.default_rng(1)
+        batch = next(iter(chronological_batches(stream, BATCH, rng)))
+        # Re-stage the same messages each round so every flush does work.
+        ts = np.full(BATCH, stream.t_max + 1.0)
+
+        def step():
+            enc.register_batch(batch)
+            enc._flushed = None
+            z = enc.compute_embedding(batch.src, ts)
+            enc.zero_grad()
+            (z ** 2.0).sum().backward()
+            enc.end_batch()
+            return float(z.data.sum())
+
+        benchmark(step)
+
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    def test_flush_only(self, benchmark, stream, engine):
+        enc = warmed_encoder(stream, engine)
+        rng = np.random.default_rng(1)
+        batch = next(iter(chronological_batches(stream, BATCH, rng)))
+
+        def flush():
+            enc.register_batch(batch)
+            enc._flushed = None
+            view = enc.flush_messages()
+            enc.end_batch()
+            return view
+
+        benchmark(flush)

@@ -82,6 +82,7 @@ class PretrainArtifact:
             "dataset": self.dataset_name,
             "fingerprint": self.dataset_fingerprint,
             "num_nodes": self.num_nodes,
+            "memory_dtype": str(np.asarray(self.result.memory_state).dtype),
             "checkpoints": len(self.result.checkpoints),
             "final_losses": {"L_eta": round(l_eta, 4),
                              "L_eps": round(l_eps, 4),
@@ -113,6 +114,9 @@ class PretrainArtifact:
             "delta_scale": float(self.delta_scale),
             "dataset_fingerprint": self.dataset_fingerprint,
             "dataset_name": self.dataset_name,
+            # Advisory (not required on load): precision the memory was
+            # trained/stored at — npz round-trips array dtypes verbatim.
+            "memory_dtype": str(np.asarray(result.memory_state).dtype),
         }
         arrays[_META_KEY] = np.array(json.dumps(meta))
         save_arrays(path, arrays)

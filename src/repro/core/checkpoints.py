@@ -26,24 +26,27 @@ class CheckpointSchedule:
         count = min(num_checkpoints, total_steps)
         points = np.linspace(total_steps / count, total_steps, count)
         self.steps = sorted(set(int(round(p)) for p in points))
+        self._step_set = set(self.steps)
 
     def should_checkpoint(self, step: int) -> bool:
         """``step`` is 1-based (after the step completes)."""
         return step in self._step_set
 
-    @property
-    def _step_set(self) -> set[int]:
-        return set(self.steps)
-
 
 class MemoryCheckpoints:
-    """The sequence ``[S^1, …, S^L]`` of raw memory snapshots."""
+    """The sequence ``[S^1, …, S^L]`` of raw memory snapshots.
 
-    def __init__(self):
+    ``dtype`` optionally casts snapshots on :meth:`add` (float32 halves
+    the ``L × num_nodes × dim`` footprint of EIE checkpointing); ``None``
+    keeps each snapshot's own dtype.
+    """
+
+    def __init__(self, dtype=None):
+        self.dtype = None if dtype is None else np.dtype(dtype)
         self._snapshots: list[np.ndarray] = []
 
     def add(self, state: np.ndarray) -> None:
-        self._snapshots.append(np.array(state, copy=True))
+        self._snapshots.append(np.array(state, dtype=self.dtype, copy=True))
 
     def __len__(self) -> int:
         return len(self._snapshots)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 __all__ = ["CPDGConfig"]
 
 
@@ -54,7 +56,18 @@ class CPDGConfig:
     n_neighbors: int = 10
     n_layers: int = 1
 
+    # Memory engine: "sparse" flushes O(touched rows) per batch; "dense"
+    # is the full-matrix reference path kept for equivalence tests and
+    # benchmarks.  ``dtype`` is the training/storage precision (float32
+    # default halves memory traffic; float64 for strict checks).
+    memory_engine: str = "sparse"
+    dtype: str = "float32"
+
     seed: int = 0
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
 
     def with_overrides(self, **kwargs) -> "CPDGConfig":
         """Functional update, used heavily by the sweep experiments."""
@@ -72,6 +85,11 @@ class CPDGConfig:
         if self.sampler_cache_capacity is not None \
                 and self.sampler_cache_capacity < 1:
             raise ValueError("sampler_cache_capacity must be positive or None")
+        if self.memory_engine not in ("sparse", "dense"):
+            raise ValueError(f"unknown memory engine {self.memory_engine!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"unknown dtype {self.dtype!r}; "
+                             "expected 'float32' or 'float64'")
         if self.num_checkpoints < 1:
             raise ValueError("need at least one checkpoint")
         if self.epochs < 1 or self.batch_size < 1:

@@ -37,17 +37,19 @@ _SCATTER_POOLS = {"mean": F.scatter_mean, "max": F.scatter_max,
                   "sum": F.scatter_sum}
 
 
-def subgraph_readout(memory: Tensor, subgraphs: SubgraphBatch | list[np.ndarray],
+def subgraph_readout(memory, subgraphs: SubgraphBatch | list[np.ndarray],
                      mode: str = "mean") -> Tensor:
     """Pool memory rows per subgraph (paper Eq. 9/10/12/13).
 
     The paper uses mean pooling "for simplicity"; ``max`` and ``sum`` are
     the alternatives Eq. 9 alludes to ("min, max, and weighted pooling")
-    and are compared in the ablation bench.  ``subgraphs`` is an
-    offset-indexed :class:`~repro.core.samplers.SubgraphBatch` (or one
-    node-id array per batch row); every mode is a single scatter over the
-    flat node list.  Empty subgraphs pool to the zero vector (new nodes
-    with no history).
+    and are compared in the ablation bench.  ``memory`` is either a plain
+    ``(num_nodes, D)`` tensor or a flushed
+    :class:`~repro.dgnn.memory.MemoryView` (sparse row gathers).
+    ``subgraphs`` is an offset-indexed
+    :class:`~repro.core.samplers.SubgraphBatch` (or one node-id array per
+    batch row); every mode is a single scatter over the flat node list.
+    Empty subgraphs pool to the zero vector (new nodes with no history).
     """
     if mode not in READOUTS:
         raise ValueError(f"unknown readout {mode!r}; expected {READOUTS}")
@@ -56,7 +58,10 @@ def subgraph_readout(memory: Tensor, subgraphs: SubgraphBatch | list[np.ndarray]
     batch = len(subgraphs)
     if len(subgraphs.nodes) == 0:
         return Tensor(np.zeros((batch, memory.shape[-1])))
-    states = F.embedding_lookup(memory, subgraphs.nodes)
+    if hasattr(memory, "gather"):
+        states = memory.gather(subgraphs.nodes)
+    else:
+        states = F.embedding_lookup(memory, subgraphs.nodes)
     return _SCATTER_POOLS[mode](states, subgraphs.groups(), batch)
 
 

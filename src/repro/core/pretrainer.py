@@ -27,7 +27,7 @@ from ..dgnn.encoder import DGNNEncoder, make_encoder
 from ..graph.batching import chronological_batches
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
-from ..nn.autograd import Tensor
+from ..nn.autograd import Tensor, default_dtype
 from ..nn.optim import Adam, clip_grad_norm
 from .checkpoints import CheckpointSchedule, MemoryCheckpoints
 from .config import CPDGConfig
@@ -74,25 +74,37 @@ class CPDGPreTrainer:
         self.encoder = encoder
         self.config = config
         self._rng = np.random.default_rng(config.seed)
-        self.pretext = LinkPredictionHead(encoder.embed_dim, self._rng)
+        with default_dtype(config.np_dtype):
+            self.pretext = LinkPredictionHead(encoder.embed_dim, self._rng)
 
     @classmethod
     def from_backbone(cls, backbone: str, num_nodes: int, config: CPDGConfig,
                       delta_scale: float = 1.0) -> "CPDGPreTrainer":
         rng = np.random.default_rng(config.seed)
-        encoder = make_encoder(
-            backbone, num_nodes, rng,
-            memory_dim=config.memory_dim, embed_dim=config.embed_dim,
-            time_dim=config.time_dim, edge_dim=config.edge_dim,
-            n_neighbors=config.n_neighbors, n_layers=config.n_layers,
-            delta_scale=delta_scale)
+        with default_dtype(config.np_dtype):
+            encoder = make_encoder(
+                backbone, num_nodes, rng,
+                memory_dim=config.memory_dim, embed_dim=config.embed_dim,
+                time_dim=config.time_dim, edge_dim=config.edge_dim,
+                n_neighbors=config.n_neighbors, n_layers=config.n_layers,
+                delta_scale=delta_scale, memory_engine=config.memory_engine,
+                dtype=config.np_dtype)
         return cls(encoder, config)
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
     def pretrain(self, stream: EventStream, verbose: bool = False) -> PretrainResult:
-        """Run Algorithm 1 on ``stream`` and return the transfer package."""
+        """Run Algorithm 1 on ``stream`` and return the transfer package.
+
+        The whole loop runs under the configured tensor dtype
+        (``config.dtype``) so constants created per batch match the
+        memory/parameter precision.
+        """
+        with default_dtype(self.config.np_dtype):
+            return self._pretrain(stream, verbose)
+
+    def _pretrain(self, stream: EventStream, verbose: bool) -> PretrainResult:
         cfg = self.config
         encoder = self.encoder
         finder = NeighborFinder(stream)
@@ -116,7 +128,7 @@ class CPDGPreTrainer:
         batches_per_epoch = int(np.ceil(stream.num_events / cfg.batch_size))
         total_steps = cfg.epochs * batches_per_epoch
         schedule = CheckpointSchedule(total_steps, cfg.num_checkpoints)
-        checkpoints = MemoryCheckpoints()
+        checkpoints = MemoryCheckpoints(dtype=cfg.np_dtype)
 
         history: list[tuple[float, float, float]] = []
         step = 0

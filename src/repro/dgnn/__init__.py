@@ -7,8 +7,9 @@ named backbones of paper Table III: TGN, JODIE and DyRep.
 from .aggregators import LastAggregator, MeanAggregator, make_aggregator
 from .embedding import (EmbeddingContext, IdentityEmbedding,
                         TemporalAttentionEmbedding, TimeProjectionEmbedding)
-from .encoder import BACKBONES, DGNNEncoder, make_encoder
-from .memory import Memory, RawMessageStore
+from .encoder import BACKBONES, DGNNEncoder, ZeroEdgeFeatures, make_encoder
+from .memory import (MEMORY_ENGINES, DenseMemoryView, Memory, MemoryView,
+                     RawMessageStore, SparseMemoryView, StagedMessages)
 from .messages import AttentionMessage, IdentityMessage, MLPMessage
 from .tgat import TGATEncoder
 from .time_encoding import TimeEncoder
@@ -16,7 +17,9 @@ from .updaters import GRUUpdater, LSTMUpdater, RNNUpdater, make_updater
 
 __all__ = [
     "DGNNEncoder", "make_encoder", "BACKBONES", "TGATEncoder",
-    "Memory", "RawMessageStore", "TimeEncoder",
+    "Memory", "MemoryView", "DenseMemoryView", "SparseMemoryView",
+    "MEMORY_ENGINES", "RawMessageStore", "StagedMessages",
+    "ZeroEdgeFeatures", "TimeEncoder",
     "IdentityMessage", "MLPMessage", "AttentionMessage",
     "LastAggregator", "MeanAggregator", "make_aggregator",
     "GRUUpdater", "RNNUpdater", "LSTMUpdater", "make_updater",

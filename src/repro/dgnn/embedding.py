@@ -33,14 +33,16 @@ __all__ = ["EmbeddingContext", "IdentityEmbedding", "TimeProjectionEmbedding",
 class EmbeddingContext:
     """Everything an embedding module may consult for one batch.
 
-    ``memory`` is the flushed in-graph memory tensor ``(num_nodes, D)``;
-    ``last_update`` raw per-node last-interaction times; ``finder`` the
-    temporal adjacency of the *attached* stream; ``edge_feats`` the
-    stream's edge feature matrix (or None); ``time_encoder`` the shared
-    φ(Δt) module.
+    ``memory`` is the flushed :class:`~repro.dgnn.memory.MemoryView` —
+    row gathers (``memory.gather(nodes)``) thread autograd through only
+    the rows this batch updated; ``last_update`` raw per-node
+    last-interaction times; ``finder`` the temporal adjacency of the
+    *attached* stream; ``edge_feats`` the stream's edge feature matrix
+    (or a lazy zero table, or None); ``time_encoder`` the shared φ(Δt)
+    module.
     """
 
-    memory: Tensor
+    memory: "MemoryView"
     last_update: np.ndarray
     finder: NeighborFinder
     edge_feats: np.ndarray | None
@@ -56,7 +58,7 @@ class IdentityEmbedding(Module):
         self.proj = Linear(memory_dim, out_dim, rng)
 
     def forward(self, ctx: EmbeddingContext, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
-        states = F.embedding_lookup(ctx.memory, nodes)
+        states = ctx.memory.gather(nodes)
         return self.proj(states)
 
 
@@ -77,7 +79,7 @@ class TimeProjectionEmbedding(Module):
         self.proj = Linear(memory_dim, out_dim, rng)
 
     def forward(self, ctx: EmbeddingContext, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
-        states = F.embedding_lookup(ctx.memory, nodes)
+        states = ctx.memory.gather(nodes)
         deltas = (np.asarray(ts, dtype=np.float64) - ctx.last_update[nodes]) / self.delta_scale
         factor = Tensor(deltas[:, None]) * self.time_weight + 1.0
         return self.proj(states * factor)
@@ -119,7 +121,7 @@ class TemporalAttentionEmbedding(Module):
     def _embed_layer(self, ctx: EmbeddingContext, nodes: np.ndarray,
                      ts: np.ndarray, layer: int) -> Tensor:
         if layer == 0:
-            return F.embedding_lookup(ctx.memory, nodes)
+            return ctx.memory.gather(nodes)
 
         batch = len(nodes)
         # One vectorized CSR query covers the whole layer's neighbourhood

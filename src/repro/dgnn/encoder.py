@@ -6,6 +6,12 @@ as in the reference TGN implementation (messages produced by batch *k*
 update the memory inside batch *k+1*'s autograd graph, giving the message
 and updater parameters gradients under one-batch truncated BPTT).
 
+The memory hot path is sparse by default: :meth:`flush_messages` opens a
+:class:`~repro.dgnn.memory.MemoryView` that gathers/writes only the rows
+the batch touches (``memory_engine="sparse"``), with the full-matrix
+reference engine available as ``memory_engine="dense"`` for equivalence
+tests and benchmarks.
+
 Typical batch loop::
 
     encoder.attach(stream)          # bind temporal adjacency + edge feats
@@ -27,26 +33,50 @@ from ..graph.batching import EventBatch
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn import functional as F
-from ..nn.autograd import Tensor
+from ..nn.autograd import Tensor, get_default_dtype
 from ..nn.module import Module
 from .aggregators import make_aggregator
 from .embedding import (EmbeddingContext, IdentityEmbedding,
                         TemporalAttentionEmbedding, TimeProjectionEmbedding)
-from .memory import Memory, RawMessageStore
+from .memory import MEMORY_ENGINES, Memory, MemoryView, RawMessageStore
 from .messages import AttentionMessage, IdentityMessage, MLPMessage
 from .time_encoding import TimeEncoder
 from .updaters import make_updater
 
-__all__ = ["DGNNEncoder", "make_encoder", "BACKBONES"]
+__all__ = ["DGNNEncoder", "ZeroEdgeFeatures", "make_encoder", "BACKBONES"]
 
 BACKBONES = ("tgn", "jodie", "dyrep")
+
+
+class ZeroEdgeFeatures:
+    """Lazy all-zero edge feature table for streams without edge features.
+
+    Row reads materialise only the requested slice instead of a dense
+    ``(num_events, edge_dim)`` zero matrix at :meth:`DGNNEncoder.attach`
+    time.
+    """
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def __getitem__(self, index) -> np.ndarray:
+        index = np.asarray(index)
+        dtype = get_default_dtype()
+        if index.ndim == 0:
+            return np.zeros(self.dim, dtype=dtype)
+        return np.zeros(index.shape + (self.dim,), dtype=dtype)
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        return 0
 
 
 class DGNNEncoder(Module):
     """Generic memory-based dynamic graph encoder.
 
     Parameters mirror paper Table III; see :func:`make_encoder` for the
-    three named configurations.
+    three named configurations.  ``memory_engine`` selects the flush
+    engine ("sparse" default, "dense" reference) and ``dtype`` the memory
+    storage precision.
     """
 
     def __init__(self, num_nodes: int, memory_dim: int, embed_dim: int,
@@ -54,14 +84,19 @@ class DGNNEncoder(Module):
                  message: str = "identity", aggregator: str = "last",
                  updater: str = "gru", embedding: str = "attention",
                  n_neighbors: int = 10, n_layers: int = 1, num_heads: int = 2,
-                 delta_scale: float = 1.0):
+                 delta_scale: float = 1.0, memory_engine: str = "sparse",
+                 dtype=np.float64):
         super().__init__()
+        if memory_engine not in MEMORY_ENGINES:
+            raise ValueError(f"unknown memory engine {memory_engine!r}; "
+                             f"expected one of {MEMORY_ENGINES}")
         self.num_nodes = num_nodes
         self.memory_dim = memory_dim
         self.embed_dim = embed_dim
         self.time_dim = time_dim
         self.edge_dim = edge_dim
         self.n_neighbors = n_neighbors
+        self.memory_engine = memory_engine
 
         self.time_encoder = TimeEncoder(time_dim)
         self.message_fn = self._build_message(message, rng)
@@ -72,11 +107,11 @@ class DGNNEncoder(Module):
                                                       n_layers, delta_scale, rng)
 
         # Non-learnable state (underscored so Module traversal skips it).
-        self._memory = Memory(num_nodes, memory_dim)
+        self._memory = Memory(num_nodes, memory_dim, dtype=dtype)
         self._messages = RawMessageStore(keep_all=self.aggregator.keep_all_messages)
         self._finder: NeighborFinder | None = None
-        self._edge_feats: np.ndarray | None = None
-        self._flushed: Tensor | None = None
+        self._edge_feats: np.ndarray | ZeroEdgeFeatures | None = None
+        self._flushed: MemoryView | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -114,9 +149,12 @@ class DGNNEncoder(Module):
         self._finder = finder if finder is not None else NeighborFinder(stream)
         if stream.edge_feats is not None and self.edge_dim:
             self._edge_feats = stream.edge_feats
+        elif self.edge_dim:
+            # No real features: serve zero rows lazily instead of a dense
+            # (num_events, edge_dim) zero matrix.
+            self._edge_feats = ZeroEdgeFeatures(self.edge_dim)
         else:
-            self._edge_feats = (np.zeros((stream.num_events, self.edge_dim))
-                                if self.edge_dim else None)
+            self._edge_feats = None
 
     def reset_memory(self) -> None:
         self._memory.reset()
@@ -126,6 +164,11 @@ class DGNNEncoder(Module):
     @property
     def memory(self) -> Memory:
         return self._memory
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The precision this encoder's memory (and training) runs at."""
+        return self._memory.dtype
 
     def memory_checkpoint(self) -> np.ndarray:
         """Raw memory snapshot for EIE checkpointing (paper Eq. 18)."""
@@ -148,41 +191,48 @@ class DGNNEncoder(Module):
     # ------------------------------------------------------------------
     # batch processing
     # ------------------------------------------------------------------
-    def flush_messages(self) -> Tensor:
+    def flush_messages(self) -> MemoryView:
         """Apply pending raw messages to memory inside the current graph.
 
-        Returns the full-memory tensor used by this batch; cached so
-        repeated :meth:`compute_embedding` calls share one flush.
+        Returns the batch's :class:`~repro.dgnn.memory.MemoryView`; cached
+        so repeated :meth:`compute_embedding` calls share one flush.
         """
         if self._flushed is not None:
             return self._flushed
-        base = self._memory.as_tensor()
-        pending = self._messages.pop_all()
-        if pending:
-            nodes = np.array(sorted(pending), dtype=np.int64)
-            payloads = [pending[int(n)] for n in nodes]
+        view = self._memory.view(self.memory_engine)
+        staged = self._messages.pop_all()
+        if staged is not None:
             if self.aggregator.keep_all_messages:
-                flat = [(row, p) for row, plist in enumerate(payloads) for p in plist]
-                groups = np.array([row for row, _ in flat], dtype=np.int64)
-                messages = self._raw_messages([p for _, p in flat])
+                nodes, groups = staged.groups_per_node()
+                messages = self._raw_messages(staged, slice(None))
                 aggregated = F.scatter_mean(messages, groups, len(nodes))
             else:
-                aggregated = self._raw_messages([plist[-1] for plist in payloads])
-            previous = F.embedding_lookup(base, nodes)
+                nodes, rows = staged.last_per_node()
+                aggregated = self._raw_messages(staged, rows)
+            previous = view.gather(nodes)
             updated = self.updater(aggregated, previous)
-            base = F.scatter_rows(base, nodes, updated)
-        self._flushed = base
-        return base
+            view.write(nodes, updated)
+        self._flushed = view
+        return view
 
-    def _raw_messages(self, payloads: list[dict]) -> Tensor:
-        """Vectorised message computation from stored raw payloads."""
-        self_state = Tensor(np.stack([p["self_state"] for p in payloads]))
-        other_state = Tensor(np.stack([p["other_state"] for p in payloads]))
-        deltas = Tensor(np.array([p["delta_t"] for p in payloads]))
-        time_enc = self.time_encoder(deltas)
+    def _raw_messages(self, staged, rows) -> Tensor:
+        """Vectorised message computation from selected staged rows.
+
+        ``rows`` is an index array or ``slice(None)`` (all rows, no copy).
+        Edge features come from the rows captured at staging time; staged
+        ``edge_feat=None`` (featureless stream) expands to zero rows for
+        exactly the selected messages.
+        """
+        self_state = Tensor(staged.self_state[rows])
+        other_state = Tensor(staged.other_state[rows])
+        time_enc = self.time_encoder(Tensor(staged.delta_t[rows]))
         edge_feat = None
-        if self.edge_dim and payloads[0]["edge_feat"] is not None:
-            edge_feat = Tensor(np.stack([p["edge_feat"] for p in payloads]))
+        if self.edge_dim:
+            if staged.edge_feat is not None:
+                edge_feat = Tensor(staged.edge_feat[rows])
+            else:
+                edge_feat = Tensor(np.zeros((self_state.shape[0], self.edge_dim),
+                                            dtype=get_default_dtype()))
         return self.message_fn(self_state, other_state, time_enc, edge_feat)
 
     def compute_embedding(self, nodes: np.ndarray, ts: np.ndarray) -> Tensor:
@@ -203,44 +253,56 @@ class DGNNEncoder(Module):
     def register_batch(self, batch: EventBatch) -> None:
         """Queue raw messages for this batch's events (paper Eq. 2 inputs).
 
-        Stores detached endpoint states so the flush in the *next* batch
-        recomputes messages inside that batch's graph.
+        Stages detached endpoint states as flat arrays (one gather for the
+        whole batch) so the flush in the *next* batch recomputes messages
+        inside that batch's graph.
         """
-        memory = self._flushed
-        state = memory.data if memory is not None else self._memory.state
-        last_update = self._memory.last_update
-        edge_feats = self._edge_feats
-        for row in range(len(batch)):
-            src = int(batch.src[row])
-            dst = int(batch.dst[row])
-            t = float(batch.timestamps[row])
-            feat = None
-            if edge_feats is not None:
-                feat = edge_feats[int(batch.event_ids[row])].copy()
-            src_state = state[src].copy()
-            dst_state = state[dst].copy()
-            self._messages.push(src, {
-                "self_state": src_state, "other_state": dst_state,
-                "delta_t": t - last_update[src], "edge_feat": feat, "time": t,
-            })
-            self._messages.push(dst, {
-                "self_state": dst_state, "other_state": src_state,
-                "delta_t": t - last_update[dst], "edge_feat": feat, "time": t,
-            })
-        self._memory.touch(np.concatenate([batch.src, batch.dst]),
-                           np.concatenate([batch.timestamps, batch.timestamps]))
+        size = len(batch)
+        if size == 0:
+            return
+        src = np.asarray(batch.src, dtype=np.int64)
+        dst = np.asarray(batch.dst, dtype=np.int64)
+        endpoints = np.concatenate([src, dst])
+        if self._flushed is not None:
+            states = self._flushed.current_rows(endpoints)
+        else:
+            states = self._memory.state[endpoints]
+        # Stage rows interleaved in event order (src then dst per event)
+        # so "last message per node" means the chronologically last event
+        # touching the node, whichever endpoint role it played.
+        nodes = np.empty(2 * size, dtype=np.int64)
+        nodes[0::2] = src
+        nodes[1::2] = dst
+        self_state = np.empty((2 * size,) + states.shape[1:], dtype=states.dtype)
+        self_state[0::2] = states[:size]
+        self_state[1::2] = states[size:]
+        other_state = np.empty_like(self_state)
+        other_state[0::2] = states[size:]
+        other_state[1::2] = states[:size]
+        times = np.repeat(np.asarray(batch.timestamps, dtype=np.float64), 2)
+        deltas = times - self._memory.last_update[nodes]
+        event_ids = np.repeat(np.asarray(batch.event_ids, dtype=np.int64), 2)
+        # Capture feature rows now (zero tables stay lazy): a later
+        # attach() to another stream must not change pending messages.
+        edge_feat = None
+        if self.edge_dim and isinstance(self._edge_feats, np.ndarray):
+            edge_feat = self._edge_feats[event_ids]
+        self._messages.stage(nodes, self_state, other_state, deltas, times,
+                             event_ids, edge_feat)
+        self._memory.touch(nodes, times)
 
     def end_batch(self) -> None:
-        """Persist the flushed memory (detached) and clear the batch cache."""
+        """Persist the flushed rows (detached) and clear the batch cache."""
         if self._flushed is not None:
-            self._memory.persist(self._flushed.data)
+            self._flushed.persist()
             self._flushed = None
 
 
 def make_encoder(backbone: str, num_nodes: int, rng: np.random.Generator,
                  memory_dim: int = 32, embed_dim: int = 32, time_dim: int = 8,
                  edge_dim: int = 4, n_neighbors: int = 10, n_layers: int = 1,
-                 delta_scale: float = 1.0) -> DGNNEncoder:
+                 delta_scale: float = 1.0, memory_engine: str = "sparse",
+                 dtype=np.float64) -> DGNNEncoder:
     """Build a named DGNN backbone per paper Table III.
 
     ========  ==========  =======  =======  =========
@@ -255,7 +317,8 @@ def make_encoder(backbone: str, num_nodes: int, rng: np.random.Generator,
     common = dict(num_nodes=num_nodes, memory_dim=memory_dim,
                   embed_dim=embed_dim, time_dim=time_dim, edge_dim=edge_dim,
                   rng=rng, n_neighbors=n_neighbors, n_layers=n_layers,
-                  delta_scale=delta_scale)
+                  delta_scale=delta_scale, memory_engine=memory_engine,
+                  dtype=dtype)
     if backbone == "jodie":
         return DGNNEncoder(message="identity", aggregator="last",
                            updater="rnn", embedding="time", **common)

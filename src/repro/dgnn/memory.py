@@ -1,30 +1,50 @@
-"""The DGNN memory ``M`` (paper §III-B).
+"""The DGNN memory ``M`` (paper §III-B) and its batch views.
 
 Stores one state vector ``s_i^t`` per node plus its last-update time.
 States persist *detached* between batches (TGN-style one-batch truncated
 BPTT): within a batch the updater writes rows through the autograd graph,
-then :meth:`persist` stores the plain arrays.
+then the view persists them back into the plain backing arrays.
+
+Two flush engines expose the same :class:`MemoryView` protocol:
+
+* :class:`SparseMemoryView` — the production engine.  A batch gathers
+  only the rows it needs (updater writes, embedding lookups, contrast
+  subgraph nodes), autograd threads through those rows alone, and
+  ``persist()`` scatters the delta back — per-batch cost is
+  ``O(touched_rows × dim)`` regardless of ``num_nodes``.
+* :class:`DenseMemoryView` — the reference engine: one full-matrix copy
+  per flush plus differentiable full-table writes, the shape of the
+  original TGN-style implementation.  Retained for equivalence tests and
+  the before/after rows of ``BENCH_pretrain.json``.
 
 The memory is also the object the EIE module checkpoints during
-pre-training (paper Eq. 18) — :meth:`checkpoint` snapshots the raw state.
+pre-training (paper Eq. 18) — :meth:`Memory.checkpoint` snapshots the raw
+state.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..nn import functional as F
 from ..nn.autograd import Tensor
 
-__all__ = ["Memory", "RawMessageStore"]
+__all__ = ["MEMORY_ENGINES", "Memory", "MemoryView", "DenseMemoryView",
+           "SparseMemoryView", "RawMessageStore", "StagedMessages"]
+
+MEMORY_ENGINES = ("sparse", "dense")
 
 
 class Memory:
     """Per-node state storage with zero initialisation (paper §V-C)."""
 
-    def __init__(self, num_nodes: int, dim: int):
+    def __init__(self, num_nodes: int, dim: int, dtype=np.float64):
         self.num_nodes = num_nodes
         self.dim = dim
-        self.state = np.zeros((num_nodes, dim), dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.state = np.zeros((num_nodes, dim), dtype=self.dtype)
         self.last_update = np.zeros(num_nodes, dtype=np.float64)
 
     def reset(self) -> None:
@@ -39,7 +59,11 @@ class Memory:
         """Store updated (already detached) state values."""
         if state.shape != self.state.shape:
             raise ValueError(f"memory shape mismatch: {state.shape} vs {self.state.shape}")
-        self.state = np.array(state, dtype=np.float64, copy=True)
+        self.state = np.array(state, dtype=self.dtype, copy=True)
+
+    def persist_rows(self, nodes: np.ndarray, rows: np.ndarray) -> None:
+        """Store updated rows for ``nodes`` only — the sparse-delta write."""
+        self.state[np.asarray(nodes, dtype=np.int64)] = rows
 
     def touch(self, nodes: np.ndarray, ts: np.ndarray) -> None:
         """Advance last-update times for ``nodes`` (max with existing)."""
@@ -51,45 +75,291 @@ class Memory:
         return self.state.copy()
 
     def clone(self) -> "Memory":
-        other = Memory(self.num_nodes, self.dim)
+        other = Memory(self.num_nodes, self.dim, dtype=self.dtype)
         other.state = self.state.copy()
         other.last_update = self.last_update.copy()
         return other
+
+    def view(self, engine: str = "sparse") -> "MemoryView":
+        """Open a one-batch flush view over this store."""
+        if engine == "sparse":
+            return SparseMemoryView(self)
+        if engine == "dense":
+            return DenseMemoryView(self)
+        raise ValueError(f"unknown memory engine {engine!r}; "
+                         f"expected one of {MEMORY_ENGINES}")
+
+
+class MemoryView:
+    """One batch's differentiable window onto a :class:`Memory` store.
+
+    Protocol shared by both engines:
+
+    * :meth:`gather` — in-graph rows for arbitrary node ids (embedding
+      lookups, contrast subgraph readouts);
+    * :meth:`write` — route updated rows (the memory updater's output)
+      into the view so later gathers see them;
+    * :meth:`current_rows` — detached numpy rows (raw-message staging);
+    * :meth:`persist` — store the batch's final values back, detached.
+    """
+
+    store: Memory
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.store.num_nodes, self.store.dim)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.store.num_nodes
+
+    @property
+    def dim(self) -> int:
+        return self.store.dim
+
+    def gather(self, nodes: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def write(self, nodes: np.ndarray, rows: Tensor) -> None:
+        raise NotImplementedError
+
+    def current_rows(self, nodes: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def persist(self) -> None:
+        raise NotImplementedError
+
+
+class DenseMemoryView(MemoryView):
+    """Reference engine: full-matrix flush, O(num_nodes) per batch."""
+
+    def __init__(self, store: Memory):
+        self.store = store
+        self._tensor = store.as_tensor()
+        self.touched: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def gather(self, nodes: np.ndarray) -> Tensor:
+        return F.embedding_lookup(self._tensor,
+                                  np.asarray(nodes, dtype=np.int64))
+
+    def write(self, nodes: np.ndarray, rows: Tensor) -> None:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return
+        self._tensor = F.scatter_rows(self._tensor, nodes, rows)
+        self.touched = np.union1d(self.touched, nodes)
+
+    def current_rows(self, nodes: np.ndarray) -> np.ndarray:
+        return self._tensor.data[np.asarray(nodes, dtype=np.int64)]
+
+    def persist(self) -> None:
+        self.store.persist(self._tensor.data)
+
+    def dense(self) -> Tensor:
+        """The full in-graph memory tensor (reference-path consumers)."""
+        return self._tensor
+
+
+class SparseMemoryView(MemoryView):
+    """Sparse-delta engine: per-batch cost scales with touched rows.
+
+    Updated rows live in a small ``(K, dim)`` in-graph tensor keyed by a
+    sorted node-id array; gathers overlay those rows onto detached
+    backing-store rows, so gradients flow through exactly the rows the
+    batch wrote and nothing the size of the graph is ever allocated.
+    """
+
+    def __init__(self, store: Memory):
+        self.store = store
+        self._delta_nodes: np.ndarray | None = None   # sorted unique ids
+        self._delta_rows: Tensor | None = None        # (K, dim), in-graph
+
+    @property
+    def touched(self) -> np.ndarray:
+        if self._delta_nodes is None:
+            return np.empty(0, dtype=np.int64)
+        return self._delta_nodes
+
+    def _delta_positions(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(hit_mask, delta_pos)`` of ``nodes`` within the delta rows."""
+        delta = self._delta_nodes
+        pos = np.searchsorted(delta, nodes)
+        pos = np.minimum(pos, len(delta) - 1)
+        hit = delta[pos] == nodes
+        return hit, pos
+
+    def gather(self, nodes: np.ndarray) -> Tensor:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        base = Tensor(self.store.state[nodes])
+        if self._delta_nodes is None or len(nodes) == 0:
+            return base
+        hit, pos = self._delta_positions(nodes)
+        if not hit.any():
+            return base
+        rows = F.embedding_lookup(self._delta_rows, pos[hit])
+        return F.scatter_rows(base, np.flatnonzero(hit), rows)
+
+    def write(self, nodes: np.ndarray, rows: Tensor) -> None:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return
+        if self._delta_nodes is None:
+            order = np.argsort(nodes, kind="stable")
+            if len(np.unique(nodes)) != len(nodes):
+                raise ValueError("memory write requires unique node ids")
+            self._delta_nodes = nodes[order]
+            self._delta_rows = (rows if np.array_equal(order,
+                                                       np.arange(len(nodes)))
+                                else F.embedding_lookup(rows, order))
+            return
+        # Later writes merge: union the key set, keep un-rewritten delta
+        # rows in-graph, overlay the new rows.
+        union = np.union1d(self._delta_nodes, nodes)
+        merged = self.gather(union)
+        new_pos = np.searchsorted(union, nodes)
+        self._delta_nodes = union
+        self._delta_rows = F.scatter_rows(merged, new_pos, rows)
+
+    def current_rows(self, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = self.store.state[nodes]
+        if self._delta_nodes is None or len(nodes) == 0:
+            return out
+        hit, pos = self._delta_positions(nodes)
+        if hit.any():
+            out[hit] = self._delta_rows.data[pos[hit]]
+        return out
+
+    def persist(self) -> None:
+        if self._delta_nodes is not None:
+            self.store.persist_rows(self._delta_nodes,
+                                    np.asarray(self._delta_rows.data,
+                                               dtype=self.store.dtype))
+
+    def dense(self) -> Tensor:
+        """Materialise the full matrix (compat/testing only — O(num_nodes))."""
+        full = self.store.as_tensor()
+        if self._delta_nodes is None:
+            return full
+        return F.scatter_rows(full, self._delta_nodes, self._delta_rows)
+
+
+@dataclass
+class StagedMessages:
+    """Flat struct-of-arrays staging of one or more batches' raw messages.
+
+    One row per (node, event) message: ``nodes[k]`` received a message
+    with pre-event endpoint states ``self_state[k]`` / ``other_state[k]``,
+    time gap ``delta_t[k]``, event time ``time[k]``, edge features
+    ``edge_feat[k]`` (``None`` when the stream has no real features — the
+    flush substitutes zero rows) from event ``event_ids[k]``.  Feature
+    rows are captured at staging time so a later ``attach()`` to a
+    different stream cannot change pending messages.  Rows are in staging
+    order, so "last message per node" is a vectorized argmax over row
+    positions.
+    """
+
+    nodes: np.ndarray        # (M,) int64
+    self_state: np.ndarray   # (M, D)
+    other_state: np.ndarray  # (M, D)
+    delta_t: np.ndarray      # (M,) float64
+    time: np.ndarray         # (M,) float64
+    event_ids: np.ndarray    # (M,) int64
+    edge_feat: np.ndarray | None = None   # (M, E) or None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def last_per_node(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(unique_sorted_nodes, row_of_last_message_per_node)``."""
+        uniq, inverse = np.unique(self.nodes, return_inverse=True)
+        last = np.zeros(len(uniq), dtype=np.int64)
+        np.maximum.at(last, inverse, np.arange(len(self.nodes), dtype=np.int64))
+        return uniq, last
+
+    def groups_per_node(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(unique_sorted_nodes, group_index_per_row)`` for mean pooling."""
+        uniq, inverse = np.unique(self.nodes, return_inverse=True)
+        return uniq, inverse
 
 
 class RawMessageStore:
     """Pending raw messages, flushed at the start of the next batch.
 
-    Following the reference TGN implementation, messages generated by batch
-    ``k`` update the memory inside batch ``k+1``'s graph so the message
-    function and memory updater receive gradients.  With the ``last``
-    aggregator only the most recent event per node is kept; with ``mean``
-    all pending events are kept and averaged at flush time.
+    Following the reference TGN implementation, messages generated by
+    batch ``k`` update the memory inside batch ``k+1``'s graph so the
+    message function and memory updater receive gradients.  Staging is
+    struct-of-arrays: each :meth:`stage` call appends one block of flat
+    numpy arrays (no per-event Python objects), and :meth:`pop_all`
+    concatenates the blocks into one :class:`StagedMessages`.  With the
+    ``last`` aggregator only the most recent row per node is consumed at
+    flush time; with ``mean`` all rows are pooled per node.
     """
 
     def __init__(self, keep_all: bool = False):
         self.keep_all = keep_all
-        self._pending: dict[int, list[dict]] = {}
+        self._blocks: list[StagedMessages] = []
+        self._num_rows = 0
 
-    def push(self, node: int, payload: dict) -> None:
-        """Queue a raw message payload for ``node``.
+    def stage(self, nodes: np.ndarray, self_state: np.ndarray,
+              other_state: np.ndarray, delta_t: np.ndarray,
+              time: np.ndarray, event_ids: np.ndarray,
+              edge_feat: np.ndarray | None = None) -> None:
+        """Queue one batch's raw messages as flat arrays."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return
+        block = StagedMessages(
+            nodes=nodes,
+            self_state=np.asarray(self_state),
+            other_state=np.asarray(other_state),
+            delta_t=np.asarray(delta_t, dtype=np.float64),
+            time=np.asarray(time, dtype=np.float64),
+            event_ids=np.asarray(event_ids, dtype=np.int64),
+            edge_feat=None if edge_feat is None else np.asarray(edge_feat),
+        )
+        self._blocks.append(block)
+        self._num_rows += len(nodes)
 
-        Payload keys: ``self_state``, ``other_state`` (detached numpy
-        rows), ``delta_t`` (float), ``edge_feat`` (numpy or None),
-        ``time`` (float).
-        """
-        if self.keep_all:
-            self._pending.setdefault(node, []).append(payload)
-        else:
-            self._pending[node] = [payload]
-
-    def pop_all(self) -> dict[int, list[dict]]:
-        pending = self._pending
-        self._pending = {}
-        return pending
+    def pop_all(self) -> StagedMessages | None:
+        """Concatenate and clear all staged blocks (None when empty)."""
+        if not self._blocks:
+            return None
+        blocks = self._blocks
+        self._blocks = []
+        self._num_rows = 0
+        if len(blocks) == 1:
+            return blocks[0]
+        return StagedMessages(
+            nodes=np.concatenate([b.nodes for b in blocks]),
+            self_state=np.concatenate([b.self_state for b in blocks]),
+            other_state=np.concatenate([b.other_state for b in blocks]),
+            delta_t=np.concatenate([b.delta_t for b in blocks]),
+            time=np.concatenate([b.time for b in blocks]),
+            event_ids=np.concatenate([b.event_ids for b in blocks]),
+            edge_feat=_concat_edge_feats(blocks),
+        )
 
     def __len__(self) -> int:
-        return len(self._pending)
+        """Number of staged message rows."""
+        return self._num_rows
 
     def clear(self) -> None:
-        self._pending = {}
+        self._blocks = []
+        self._num_rows = 0
+
+
+def _concat_edge_feats(blocks: list[StagedMessages]) -> np.ndarray | None:
+    """Concatenate per-block edge features; all-None stays None.
+
+    Mixed None/array blocks (an ``attach()`` swapped a featureless stream
+    for a featured one mid-stage) substitute zero rows for the None
+    blocks.
+    """
+    feats = [b.edge_feat for b in blocks]
+    if all(f is None for f in feats):
+        return None
+    width = next(f.shape[1] for f in feats if f is not None)
+    return np.concatenate([
+        np.zeros((len(b.nodes), width)) if f is None else f
+        for b, f in zip(blocks, feats)])

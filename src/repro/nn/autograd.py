@@ -21,9 +21,100 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+           "SparseRowGrad", "default_dtype", "get_default_dtype",
+           "set_default_dtype"]
 
 _GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """Dtype new tensors are created with (float64 unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the global tensor dtype; returns the previous one.
+
+    Only floating dtypes are meaningful — training in float32 halves the
+    memory traffic of the DGNN hot path while float64 remains the default
+    for numerically strict gradient checks.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be floating, got {resolved}")
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`."""
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+        self._previous: np.dtype | None = None
+
+    def __enter__(self):
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        set_default_dtype(self._previous)
+        return False
+
+
+class SparseRowGrad:
+    """A row-sparse gradient for an axis-0-indexed table.
+
+    Represents ``sum_k onehot(indices[k]) ⊗ values[k]`` without
+    materialising the full table, so a batch of embedding lookups against
+    a large table accumulates ``(indices, grad_rows)`` pairs instead of
+    allocating one dense zeros table per lookup.  Densified lazily the
+    first time :attr:`Tensor.grad` is read.
+    """
+
+    __slots__ = ("shape", "indices", "values")
+
+    def __init__(self, shape: tuple, indices: np.ndarray, values: np.ndarray):
+        self.shape = tuple(shape)
+        self.indices = indices
+        self.values = values
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def coalesce(self) -> "SparseRowGrad":
+        """Merge duplicate row indices by summation."""
+        flat_idx = self.indices.reshape(-1)
+        rows = self.values.reshape(flat_idx.shape[0], -1)
+        uniq, inverse = np.unique(flat_idx, return_inverse=True)
+        summed = np.zeros((len(uniq), rows.shape[1]), dtype=rows.dtype)
+        np.add.at(summed, inverse, rows)
+        return SparseRowGrad(self.shape,
+                             uniq, summed.reshape((len(uniq),) + self.shape[1:]))
+
+    def to_dense(self) -> np.ndarray:
+        full = np.zeros(self.shape, dtype=self.values.dtype)
+        np.add.at(full, self.indices, self.values)
+        return full
+
+
+def _concat_sparse(a: SparseRowGrad, b: SparseRowGrad) -> SparseRowGrad:
+    """Stack two sparse row grads (duplicates allowed; coalesced lazily)."""
+    a_idx, b_idx = a.indices.reshape(-1), b.indices.reshape(-1)
+    a_vals = a.values.reshape((a_idx.shape[0],) + a.shape[1:])
+    b_vals = b.values.reshape((b_idx.shape[0],) + b.shape[1:])
+    return SparseRowGrad(a.shape,
+                         np.concatenate([a_idx, b_idx]),
+                         np.concatenate([a_vals, b_vals]))
 
 
 class no_grad:
@@ -81,17 +172,42 @@ class Tensor:
         Whether gradients should be accumulated into :attr:`grad`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "_grad", "requires_grad", "_backward", "_parents", "name")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
-        self.grad: np.ndarray | None = None
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        self._grad: np.ndarray | SparseRowGrad | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward = None
         self._parents: tuple = ()
         self.name = name
+
+    @property
+    def grad(self) -> np.ndarray | None:
+        """Accumulated gradient, densified on first read.
+
+        Internally gradients may be held as :class:`SparseRowGrad` (row
+        lookups against large tables); reading this property materialises
+        and caches the dense array, so all external consumers keep seeing
+        plain numpy.  Use :attr:`raw_grad` to inspect without densifying.
+        """
+        if isinstance(self._grad, SparseRowGrad):
+            self._grad = self._grad.to_dense()
+        return self._grad
+
+    @grad.setter
+    def grad(self, value) -> None:
+        self._grad = value
+
+    @property
+    def raw_grad(self) -> np.ndarray | SparseRowGrad | None:
+        return self._grad
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     # ------------------------------------------------------------------
     # introspection
@@ -134,7 +250,7 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=False)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        self._grad = None
 
     # ------------------------------------------------------------------
     # graph plumbing
@@ -147,11 +263,33 @@ class Tensor:
             out._parents = parents
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+    def _accumulate(self, grad: np.ndarray | SparseRowGrad) -> None:
+        """Add ``grad`` into the stored gradient.
+
+        The stored array is always owned by this tensor (copied on first
+        store), so later contributions may add in place.  Sparse row grads
+        stay sparse until read through :attr:`grad` or a dense
+        contribution forces densification.
+        """
+        current = self._grad
+        if isinstance(grad, SparseRowGrad):
+            if current is None:
+                self._grad = SparseRowGrad(
+                    grad.shape, grad.indices,
+                    np.array(grad.values, dtype=self.data.dtype, copy=True))
+            elif isinstance(current, SparseRowGrad):
+                self._grad = _concat_sparse(current, grad)
+            else:
+                np.add.at(current, grad.indices, grad.values)
         else:
-            self.grad = self.grad + grad
+            if current is None:
+                self._grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            elif isinstance(current, SparseRowGrad):
+                dense = current.to_dense()
+                dense += grad
+                self._grad = dense
+            else:
+                current += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode autodiff from this tensor.
@@ -168,7 +306,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order over the reachable graph.
         topo: list[Tensor] = []
@@ -337,7 +475,7 @@ class Tensor:
             shape = self.shape
 
             def _backward(grad):
-                full = np.zeros(shape, dtype=np.float64)
+                full = np.zeros(shape, dtype=grad.dtype)
                 np.add.at(full, index, grad)
                 a._accumulate(full)
 
@@ -378,7 +516,7 @@ class Tensor:
         if out.requires_grad:
             a = self
             expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
 
             def _backward(grad):

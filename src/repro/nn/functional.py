@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .autograd import Tensor, as_tensor
+from .autograd import SparseRowGrad, Tensor, as_tensor
 
 __all__ = [
     "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "softmax",
@@ -173,7 +173,14 @@ def stack(tensors, axis: int = 0) -> Tensor:
 
 
 def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
-    """Row gather with scatter-add backward — the core of Embedding layers."""
+    """Row gather with a *row-sparse* backward — the core of Embedding layers.
+
+    The backward accumulates ``(indices, grad_rows)`` as a
+    :class:`~repro.nn.autograd.SparseRowGrad` instead of allocating a
+    dense zeros table per lookup, so a batch that gathers a handful of
+    rows from a large table never materialises the full table shape until
+    ``table.grad`` is actually read.
+    """
     table = as_tensor(table)
     indices = np.asarray(indices, dtype=np.int64)
     out = table._make_child(table.data[indices], (table,))
@@ -181,9 +188,7 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
         shape = table.shape
 
         def _backward(grad):
-            full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, indices, grad)
-            table._accumulate(full)
+            table._accumulate(SparseRowGrad(shape, indices, grad))
         out._backward = _backward
     return out
 
@@ -239,9 +244,9 @@ def scatter_mean(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     """
     values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    counts = np.bincount(groups, minlength=num_groups).astype(np.float64)
+    counts = np.bincount(groups, minlength=num_groups).astype(values.data.dtype)
     safe_counts = np.maximum(counts, 1.0)
-    sums = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+    sums = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
     np.add.at(sums, groups, values.data)
     data = sums / safe_counts[:, None]
     out = values._make_child(data, (values,))
@@ -259,7 +264,7 @@ def scatter_sum(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     """
     values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    data = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+    data = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
     np.add.at(data, groups, values.data)
     out = values._make_child(data, (values,))
     if out.requires_grad:
@@ -278,13 +283,14 @@ def scatter_max(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     """
     values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    maxes = np.full((num_groups, values.shape[-1]), -np.inf, dtype=np.float64)
+    maxes = np.full((num_groups, values.shape[-1]), -np.inf,
+                    dtype=values.data.dtype)
     np.maximum.at(maxes, groups, values.data)
     data = np.where(np.isneginf(maxes), 0.0, maxes)
     out = values._make_child(data, (values,))
     if out.requires_grad:
-        argmask = (values.data == maxes[groups]).astype(np.float64)
-        ties = np.zeros((num_groups, values.shape[-1]), dtype=np.float64)
+        argmask = (values.data == maxes[groups]).astype(values.data.dtype)
+        ties = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
         np.add.at(ties, groups, argmask)
         argmask /= np.maximum(ties, 1.0)[groups]
 

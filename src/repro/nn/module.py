@@ -115,7 +115,9 @@ class Module:
             target = params[name]
             if target.shape != array.shape:
                 raise ValueError(f"shape mismatch for {name}: {target.shape} vs {array.shape}")
-            target.data = np.array(array, dtype=np.float64, copy=True)
+            # Preserve each parameter's dtype so float32 encoders can load
+            # float64 artifacts (and vice versa) without silently widening.
+            target.data = np.array(array, dtype=target.data.dtype, copy=True)
 
     # Subclasses implement forward and may be called directly.
     def forward(self, *args, **kwargs):

@@ -137,16 +137,18 @@ class AdaGrad(Optimizer):
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm, matching torch's utility.
+    Returns the pre-clipping norm, matching torch's utility.  The norm is
+    one flat dot product over all gradients rather than a per-parameter
+    reduction loop; scaling happens in place (gradient arrays are owned by
+    their tensors).
     """
-    total = 0.0
-    for param in params:
-        if param.grad is not None:
-            total += float((param.grad ** 2).sum())
-    norm = float(np.sqrt(total))
+    grads = [g for g in (p.grad for p in params) if g is not None]
+    if not grads:
+        return 0.0
+    flat = np.concatenate([g.reshape(-1) for g in grads])
+    norm = float(np.sqrt(flat @ flat))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
-        for param in params:
-            if param.grad is not None:
-                param.grad = param.grad * scale
+        for grad in grads:
+            grad *= scale
     return norm

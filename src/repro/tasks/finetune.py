@@ -12,6 +12,7 @@ the optional EIE module per fine-tuning strategy:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,9 +21,10 @@ from ..core.config import CPDGConfig
 from ..core.eie import EIEModule
 from ..core.pretrainer import PretrainResult
 from ..dgnn.encoder import DGNNEncoder, make_encoder
+from ..nn.autograd import default_dtype
 
 __all__ = ["FineTuneConfig", "FineTuneStrategy", "build_finetuned_encoder",
-           "STRATEGIES"]
+           "in_strategy_dtype", "STRATEGIES"]
 
 STRATEGIES = ("none", "full", "eie-mean", "eie-attn", "eie-gru")
 
@@ -53,6 +55,29 @@ class FineTuneStrategy:
         base = self.encoder.embed_dim
         return base + (self.eie.out_dim if self.eie is not None else 0)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Precision the downstream stage runs at (from the encoder).
+
+        Baseline encoders (static GNNs, TGAT) have no memory dtype and
+        fall back to the float64 substrate default.
+        """
+        return getattr(self.encoder, "dtype", np.dtype(np.float64))
+
+
+def in_strategy_dtype(method):
+    """Run a task method under its strategy's dtype.
+
+    Downstream trainers create per-batch tensors inside their loops; this
+    keeps those at the precision the encoder was built with
+    (``CPDGConfig.dtype``) instead of silently promoting to float64.
+    """
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with default_dtype(self.strategy.dtype):
+            return method(self, *args, **kwargs)
+    return wrapper
+
 
 def build_finetuned_encoder(backbone: str, num_nodes: int,
                             model_config: CPDGConfig,
@@ -69,24 +94,28 @@ def build_finetuned_encoder(backbone: str, num_nodes: int,
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
     rng = np.random.default_rng(finetune_config.seed)
-    encoder = make_encoder(
-        backbone, num_nodes, rng,
-        memory_dim=model_config.memory_dim, embed_dim=model_config.embed_dim,
-        time_dim=model_config.time_dim, edge_dim=model_config.edge_dim,
-        n_neighbors=model_config.n_neighbors, n_layers=model_config.n_layers,
-        delta_scale=delta_scale)
+    # Construct under the configured dtype so downstream parameters (and
+    # the EIE module) match the pre-trained precision end-to-end.
+    with default_dtype(model_config.np_dtype):
+        encoder = make_encoder(
+            backbone, num_nodes, rng,
+            memory_dim=model_config.memory_dim, embed_dim=model_config.embed_dim,
+            time_dim=model_config.time_dim, edge_dim=model_config.edge_dim,
+            n_neighbors=model_config.n_neighbors, n_layers=model_config.n_layers,
+            delta_scale=delta_scale, memory_engine=model_config.memory_engine,
+            dtype=model_config.np_dtype)
 
-    eie = None
-    if strategy == "none":
-        if pretrain is not None:
-            raise ValueError("strategy 'none' must not receive a pretrain result")
-    else:
-        if pretrain is None:
-            raise ValueError(f"strategy {strategy!r} requires a pretrain result")
-        encoder.load_state_dict(pretrain.encoder_state)
-        encoder.load_memory(pretrain.memory_state, pretrain.last_update)
-        if strategy.startswith("eie-"):
-            fuser = strategy.split("-", 1)[1]
-            eie = EIEModule(pretrain.checkpoints, fuser,
-                            out_dim=finetune_config.eie_out_dim, rng=rng)
+        eie = None
+        if strategy == "none":
+            if pretrain is not None:
+                raise ValueError("strategy 'none' must not receive a pretrain result")
+        else:
+            if pretrain is None:
+                raise ValueError(f"strategy {strategy!r} requires a pretrain result")
+            encoder.load_state_dict(pretrain.encoder_state)
+            encoder.load_memory(pretrain.memory_state, pretrain.last_update)
+            if strategy.startswith("eie-"):
+                fuser = strategy.split("-", 1)[1]
+                eie = EIEModule(pretrain.checkpoints, fuser,
+                                out_dim=finetune_config.eie_out_dim, rng=rng)
     return FineTuneStrategy(name=strategy, encoder=encoder, eie=eie)

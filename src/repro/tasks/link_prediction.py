@@ -23,11 +23,11 @@ import numpy as np
 from ..core.pretext import LinkPredictionHead
 from ..graph.batching import RandomDestinationSampler, chronological_batches
 from ..graph.events import EventStream
-from ..nn.autograd import Tensor, no_grad
+from ..nn.autograd import Tensor, default_dtype, no_grad
 from ..nn.optim import Adam, clip_grad_norm
 from ..datasets.splits import DownstreamSplit
 from .early_stopping import EarlyStopper
-from .finetune import FineTuneConfig, FineTuneStrategy
+from .finetune import FineTuneConfig, FineTuneStrategy, in_strategy_dtype
 from .metrics import average_precision_score, roc_auc_score
 
 __all__ = ["LinkPredictionMetrics", "LinkPredictionTask"]
@@ -55,7 +55,8 @@ class LinkPredictionTask:
         self.split = split
         self.config = config
         self._rng = np.random.default_rng(config.seed + 17)
-        self.head = LinkPredictionHead(strategy.head_input_dim, self._rng)
+        with default_dtype(strategy.dtype):
+            self.head = LinkPredictionHead(strategy.head_input_dim, self._rng)
         # Attach the full downstream stream: NeighborFinder queries are
         # strictly-before-t, so no future leakage is possible.
         self._full_stream = EventStream.concatenate(
@@ -99,6 +100,7 @@ class LinkPredictionTask:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
+    @in_strategy_dtype
     def train(self, verbose: bool = False) -> list[dict]:
         """Fine-tune with early stopping; returns per-epoch history."""
         cfg = self.config
@@ -146,6 +148,7 @@ class LinkPredictionTask:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    @in_strategy_dtype
     def _score_stream(self, stream: EventStream,
                       restrict_new_nodes: set | None = None,
                       warmup_streams: list[EventStream] | None = None,
@@ -223,6 +226,7 @@ class LinkPredictionTask:
         return self._score_stream(self.split.test, restrict_new_nodes=restrict,
                                   warmup_streams=[self.split.train, self.split.val])
 
+    @in_strategy_dtype
     def evaluate_ranking(self, num_candidates: int = 20) -> "RankingMetrics":
         """Ranked-retrieval evaluation on the test segment.
 

@@ -15,13 +15,13 @@ import numpy as np
 from ..graph.batching import chronological_batches
 from ..graph.events import EventStream
 from ..nn import functional as F
-from ..nn.autograd import Tensor, no_grad
+from ..nn.autograd import Tensor, default_dtype, no_grad
 from ..nn.layers import MLP
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam, clip_grad_norm
 from ..datasets.splits import DownstreamSplit
 from .early_stopping import EarlyStopper
-from .finetune import FineTuneConfig, FineTuneStrategy
+from .finetune import FineTuneConfig, FineTuneStrategy, in_strategy_dtype
 from .metrics import roc_auc_score
 
 __all__ = ["NodeClassificationMetrics", "NodeClassificationTask"]
@@ -54,7 +54,8 @@ class NodeClassificationTask:
         self.config = config
         self._rng = np.random.default_rng(config.seed + 29)
         dim = strategy.head_input_dim
-        self.head = MLP([dim, dim, 1], self._rng)
+        with default_dtype(strategy.dtype):
+            self.head = MLP([dim, dim, 1], self._rng)
         self._full_stream = EventStream.concatenate(
             [split.train, split.val, split.test], name="downstream")
         strategy.encoder.attach(self._full_stream)
@@ -84,6 +85,7 @@ class NodeClassificationTask:
         self.strategy.encoder.load_memory(state, last_update)
 
     # ------------------------------------------------------------------
+    @in_strategy_dtype
     def train(self, verbose: bool = False) -> list[dict]:
         cfg = self.config
         encoder = self.strategy.encoder
@@ -129,6 +131,7 @@ class NodeClassificationTask:
         return history
 
     # ------------------------------------------------------------------
+    @in_strategy_dtype
     def _score_stream(self, stream: EventStream,
                       warmups: list[EventStream]) -> NodeClassificationMetrics:
         encoder = self.strategy.encoder

@@ -75,25 +75,46 @@ class TestMemory:
 
 
 class TestRawMessageStore:
-    def test_last_only_mode_overwrites(self):
-        store = RawMessageStore(keep_all=False)
-        store.push(1, {"time": 1.0})
-        store.push(1, {"time": 2.0})
-        pending = store.pop_all()
-        assert len(pending[1]) == 1
-        assert pending[1][0]["time"] == 2.0
+    @staticmethod
+    def _stage(store, nodes, times):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        k = len(nodes)
+        store.stage(nodes, np.zeros((k, 2)), np.ones((k, 2)),
+                    np.zeros(k), np.asarray(times, dtype=np.float64),
+                    np.arange(k))
 
-    def test_keep_all_mode_accumulates(self):
+    def test_last_per_node_selects_most_recent(self):
+        store = RawMessageStore(keep_all=False)
+        self._stage(store, [1], [1.0])
+        self._stage(store, [1], [2.0])
+        staged = store.pop_all()
+        nodes, rows = staged.last_per_node()
+        np.testing.assert_array_equal(nodes, [1])
+        assert staged.time[rows[0]] == 2.0
+
+    def test_groups_cover_all_staged_rows(self):
         store = RawMessageStore(keep_all=True)
-        store.push(1, {"time": 1.0})
-        store.push(1, {"time": 2.0})
-        assert len(store.pop_all()[1]) == 2
+        self._stage(store, [1, 3], [1.0, 1.0])
+        self._stage(store, [1], [2.0])
+        staged = store.pop_all()
+        nodes, groups = staged.groups_per_node()
+        np.testing.assert_array_equal(nodes, [1, 3])
+        assert len(groups) == 3
+        assert (nodes[groups] == staged.nodes).all()
 
     def test_pop_clears(self):
         store = RawMessageStore()
-        store.push(0, {"time": 0.0})
+        self._stage(store, [0], [0.0])
+        assert len(store) == 1
         store.pop_all()
         assert len(store) == 0
+        assert store.pop_all() is None
+
+    def test_empty_stage_is_ignored(self):
+        store = RawMessageStore()
+        self._stage(store, [], [])
+        assert len(store) == 0
+        assert store.pop_all() is None
 
 
 class TestMessagesAndUpdaters:

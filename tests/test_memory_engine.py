@@ -1,0 +1,453 @@
+"""Sparse-delta memory engine: equivalence, dtype and gradient tests.
+
+The sparse engine (``memory_engine="sparse"``) must be *bit-identical* to
+the retained dense reference engine across all three backbones: memory
+state, embeddings and parameter gradients, including the empty-pending
+first batch and batches with repeated nodes.  Plus unit coverage for
+:class:`SparseRowGrad` accumulation, :class:`ZeroEdgeFeatures`,
+vectorized ``clip_grad_norm`` and the configurable dtype path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.dgnn import (BACKBONES, DenseMemoryView, Memory, RawMessageStore,
+                        SparseMemoryView, ZeroEdgeFeatures, make_encoder)
+from repro.graph import chronological_batches
+from repro.graph.events import EventStream
+from repro.nn import (Adam, Parameter, SparseRowGrad, Tensor, clip_grad_norm,
+                      default_dtype, get_default_dtype)
+from repro.nn import functional as F
+
+
+def synthetic_stream(num_nodes=40, events=240, seed=0, edge_feats=True,
+                     repeated_nodes=False):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes // 2, events)
+    dst = rng.integers(num_nodes // 2, num_nodes, events)
+    if repeated_nodes:
+        # Force many duplicate endpoints inside every batch.
+        src[::3] = src[0]
+        dst[::5] = dst[0]
+    return EventStream(
+        src=src, dst=dst,
+        timestamps=np.sort(rng.uniform(0.0, 100.0, events)),
+        num_nodes=num_nodes,
+        edge_feats=(rng.normal(size=(events, 4)) if edge_feats else None),
+    )
+
+
+def build_pair(backbone, stream, **kwargs):
+    """Identically initialised dense/sparse encoders."""
+    encoders = {}
+    for engine in ("dense", "sparse"):
+        rng = np.random.default_rng(7)
+        enc = make_encoder(backbone, stream.num_nodes, rng, memory_dim=8,
+                           embed_dim=8, time_dim=4, edge_dim=4, n_neighbors=3,
+                           memory_engine=engine, **kwargs)
+        enc.attach(stream)
+        enc.reset_memory()
+        encoders[engine] = enc
+    return encoders
+
+
+class TestEngineEquivalence:
+    """Sparse flush == dense flush, bitwise."""
+
+    @pytest.mark.parametrize("backbone", BACKBONES)
+    @pytest.mark.parametrize("repeated_nodes", [False, True])
+    def test_bit_identical_over_batches(self, backbone, repeated_nodes):
+        stream = synthetic_stream(repeated_nodes=repeated_nodes)
+        encoders = build_pair(backbone, stream)
+        batches = list(chronological_batches(stream, 60,
+                                             np.random.default_rng(1)))
+        # Batch 0 exercises the empty-pending-messages path.
+        for i, batch in enumerate(batches):
+            outputs = {}
+            for engine, enc in encoders.items():
+                z = enc.compute_embedding(batch.src, batch.timestamps)
+                enc.zero_grad()
+                (z ** 2.0).sum().backward()
+                outputs[engine] = (
+                    z.data.copy(),
+                    {name: (None if p.grad is None else p.grad.copy())
+                     for name, p in enc.named_parameters()},
+                )
+                enc.register_batch(batch)
+                enc.end_batch()
+            z_dense, grads_dense = outputs["dense"]
+            z_sparse, grads_sparse = outputs["sparse"]
+            np.testing.assert_array_equal(z_dense, z_sparse,
+                                          err_msg=f"embeddings, batch {i}")
+            for name, grad in grads_dense.items():
+                if grad is None:
+                    assert grads_sparse[name] is None
+                else:
+                    np.testing.assert_array_equal(
+                        grad, grads_sparse[name],
+                        err_msg=f"grad {name}, batch {i}")
+            np.testing.assert_array_equal(
+                encoders["dense"].memory.state,
+                encoders["sparse"].memory.state,
+                err_msg=f"memory state, batch {i}")
+            np.testing.assert_array_equal(
+                encoders["dense"].memory.last_update,
+                encoders["sparse"].memory.last_update)
+
+    def test_flush_with_no_pending_messages_matches(self):
+        stream = synthetic_stream()
+        encoders = build_pair("tgn", stream)
+        nodes = np.array([0, 3, 3, 21])
+        for enc in encoders.values():
+            assert len(enc._messages) == 0
+        rows = {engine: enc.flush_messages().gather(nodes).data
+                for engine, enc in encoders.items()}
+        np.testing.assert_array_equal(rows["dense"], rows["sparse"])
+
+    def test_seeded_pretrain_loss_history_regression(self):
+        """End-to-end Algorithm 1: dense and sparse engines must produce
+        the same per-batch loss history and final memory."""
+        stream = synthetic_stream(num_nodes=30, events=180)
+        results = {}
+        for engine in ("dense", "sparse"):
+            cfg = CPDGConfig(epochs=2, batch_size=60, memory_dim=8,
+                             embed_dim=8, time_dim=4, edge_dim=4,
+                             n_neighbors=3, eta=3, epsilon=3,
+                             num_checkpoints=2, memory_engine=engine,
+                             dtype="float64", seed=3)
+            trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, cfg)
+            results[engine] = trainer.pretrain(stream)
+        hist_dense = np.asarray(results["dense"].loss_history)
+        hist_sparse = np.asarray(results["sparse"].loss_history)
+        np.testing.assert_allclose(hist_dense, hist_sparse, rtol=0, atol=0)
+        np.testing.assert_array_equal(results["dense"].memory_state,
+                                      results["sparse"].memory_state)
+        for key in results["dense"].encoder_state:
+            np.testing.assert_array_equal(results["dense"].encoder_state[key],
+                                          results["sparse"].encoder_state[key])
+
+
+class TestMessageStagingOrder:
+    def test_last_message_follows_event_order_across_roles(self):
+        """A node that is dst of an early event and src of a later event
+        must keep the *later* event's message under the "last" aggregator
+        (regression: [all src | all dst] staging picked the dst role)."""
+        stream = EventStream(
+            src=np.array([1, 2, 3, 7]),
+            dst=np.array([7, 4, 5, 6]),
+            timestamps=np.array([10.0, 20.0, 30.0, 40.0]),
+            num_nodes=8,
+        )
+        rng = np.random.default_rng(0)
+        enc = make_encoder("tgn", stream.num_nodes, rng, memory_dim=4,
+                           embed_dim=4, time_dim=2, edge_dim=0, n_neighbors=2)
+        enc.attach(stream)
+        batch = next(iter(chronological_batches(stream, 4,
+                                                np.random.default_rng(0))))
+        enc.register_batch(batch)
+        staged = enc._messages.pop_all()
+        nodes, rows = staged.last_per_node()
+        last_time = dict(zip(nodes.tolist(), staged.time[rows].tolist()))
+        assert last_time[7] == 40.0  # src role of the later event wins
+        assert last_time[1] == 10.0
+        assert last_time[6] == 40.0
+        # And every node's selected message is its chronologically last.
+        for node, t in last_time.items():
+            assert t == staged.time[staged.nodes == node].max()
+
+    def test_reattach_keeps_staged_feature_rows(self):
+        """Edge-feature rows are captured at register time, so attaching
+        a different (shorter) stream with messages still pending must not
+        read out-of-range event ids from the new feature table."""
+        long_stream = synthetic_stream(num_nodes=20, events=60)
+        short_stream = synthetic_stream(num_nodes=20, events=5, seed=1)
+        rng = np.random.default_rng(0)
+        enc = make_encoder("tgn", 20, rng, memory_dim=4, embed_dim=4,
+                           time_dim=2, edge_dim=4, n_neighbors=2)
+        enc.attach(long_stream)
+        for batch in chronological_batches(long_stream, 30,
+                                           np.random.default_rng(0)):
+            enc.compute_embedding(batch.src, batch.timestamps)
+            enc.register_batch(batch)
+            enc.end_batch()
+        # Messages from the last batch (event ids up to 59) still pending.
+        staged_feat = enc._messages._blocks[-1].edge_feat
+        np.testing.assert_array_equal(
+            staged_feat[-1], long_stream.edge_feats[-1])
+        enc.attach(short_stream)
+        z = enc.compute_embedding(np.array([0, 1]), np.array([200.0, 200.0]))
+        assert np.isfinite(z.data).all()
+
+    def test_self_loop_keeps_dst_role_message(self):
+        """src == dst in one event: the dst-role row is staged second,
+        matching the legacy per-event push order."""
+        stream = EventStream(src=np.array([3]), dst=np.array([3]),
+                             timestamps=np.array([5.0]), num_nodes=4)
+        rng = np.random.default_rng(0)
+        enc = make_encoder("jodie", stream.num_nodes, rng, memory_dim=4,
+                           embed_dim=4, time_dim=2, edge_dim=0, n_neighbors=2)
+        enc.attach(stream)
+        batch = next(iter(chronological_batches(stream, 1,
+                                                np.random.default_rng(0))))
+        enc.register_batch(batch)
+        staged = enc._messages.pop_all()
+        _, rows = staged.last_per_node()
+        assert rows[0] == 1  # second (dst) row of the interleaved pair
+
+
+class TestFinetuneDtype:
+    def test_downstream_stage_runs_at_config_dtype(self):
+        from repro.core.pretrainer import CPDGPreTrainer
+        from repro.tasks.finetune import FineTuneConfig, build_finetuned_encoder
+        stream = synthetic_stream(num_nodes=20, events=120)
+        cfg = CPDGConfig(epochs=1, batch_size=60, memory_dim=8, embed_dim=8,
+                         time_dim=4, edge_dim=4, n_neighbors=3, eta=3,
+                         epsilon=3, num_checkpoints=2, dtype="float32")
+        result = CPDGPreTrainer.from_backbone(
+            "tgn", stream.num_nodes, cfg).pretrain(stream)
+        strategy = build_finetuned_encoder(
+            "tgn", stream.num_nodes, cfg, result, "eie-gru", FineTuneConfig())
+        assert strategy.dtype == np.float32
+        for param in strategy.encoder.parameters():
+            assert param.data.dtype == np.float32
+        for param in strategy.eie.parameters():
+            assert param.data.dtype == np.float32
+        assert strategy.encoder.memory.state.dtype == np.float32
+
+
+class TestSparseMemoryView:
+    def test_gather_overlays_delta_rows(self):
+        mem = Memory(6, 3)
+        mem.state[:] = np.arange(18, dtype=float).reshape(6, 3)
+        view = SparseMemoryView(mem)
+        view.write(np.array([4, 1]), Tensor(np.full((2, 3), -1.0)))
+        out = view.gather(np.array([0, 1, 4, 5, 1])).data
+        np.testing.assert_array_equal(out[0], mem.state[0])
+        np.testing.assert_array_equal(out[1], np.full(3, -1.0))
+        np.testing.assert_array_equal(out[2], np.full(3, -1.0))
+        np.testing.assert_array_equal(out[3], mem.state[5])
+        np.testing.assert_array_equal(out[4], np.full(3, -1.0))
+
+    def test_persist_writes_only_touched_rows(self):
+        mem = Memory(5, 2)
+        view = SparseMemoryView(mem)
+        view.write(np.array([2]), Tensor(np.ones((1, 2))))
+        view.persist()
+        assert mem.state[2].sum() == 2.0
+        assert mem.state.sum() == 2.0
+        np.testing.assert_array_equal(view.touched, [2])
+
+    def test_second_write_merges_delta(self):
+        mem = Memory(6, 2)
+        view = SparseMemoryView(mem)
+        view.write(np.array([1, 3]), Tensor(np.ones((2, 2))))
+        view.write(np.array([3, 5]), Tensor(np.full((2, 2), 2.0)))
+        np.testing.assert_array_equal(view.touched, [1, 3, 5])
+        out = view.gather(np.array([1, 3, 5])).data
+        np.testing.assert_array_equal(out, [[1, 1], [2, 2], [2, 2]])
+
+    def test_write_rejects_duplicate_nodes(self):
+        view = SparseMemoryView(Memory(4, 2))
+        with pytest.raises(ValueError):
+            view.write(np.array([1, 1]), Tensor(np.ones((2, 2))))
+
+    def test_empty_write_is_a_noop(self):
+        mem = Memory(4, 2)
+        view = SparseMemoryView(mem)
+        view.write(np.empty(0, dtype=np.int64), Tensor(np.empty((0, 2))))
+        out = view.gather(np.array([3])).data  # must not raise
+        np.testing.assert_array_equal(out, [[0.0, 0.0]])
+        view.persist()
+        assert mem.state.sum() == 0.0
+
+    def test_gradients_flow_through_written_rows_only(self):
+        mem = Memory(5, 2)
+        view = SparseMemoryView(mem)
+        rows = Tensor(np.ones((2, 2)), requires_grad=True)
+        view.write(np.array([0, 3]), rows)
+        out = view.gather(np.array([0, 1, 3, 3]))
+        out.sum().backward()
+        np.testing.assert_array_equal(rows.grad, [[1.0, 1.0], [2.0, 2.0]])
+
+    def test_dense_view_matches_legacy_full_matrix_semantics(self):
+        mem = Memory(4, 2)
+        mem.state[:] = 1.0
+        view = DenseMemoryView(mem)
+        view.write(np.array([2]), Tensor(np.zeros((1, 2))))
+        full = view.dense().data
+        assert full.shape == (4, 2)
+        assert full[2].sum() == 0.0
+        view.persist()
+        assert mem.state[2].sum() == 0.0
+        assert mem.state[0].sum() == 2.0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(4, 2).view("hologram")
+
+
+class TestSparseRowGrad:
+    def test_lookup_backward_stays_sparse_until_read(self):
+        table = Tensor(np.arange(12, dtype=float).reshape(4, 3),
+                       requires_grad=True)
+        F.embedding_lookup(table, np.array([1, 1, 3])).sum().backward()
+        assert isinstance(table.raw_grad, SparseRowGrad)
+        expected = np.zeros((4, 3))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_array_equal(table.grad, expected)  # densifies
+        assert isinstance(table.raw_grad, np.ndarray)
+
+    def test_sparse_plus_sparse_then_dense(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        a = F.embedding_lookup(table, np.array([0, 2]))
+        b = F.embedding_lookup(table, np.array([2, 3]))
+        (a.sum() + b.sum() + (table * 2.0).sum()).backward()
+        expected = np.full((4, 2), 2.0)
+        expected[0] += 1.0
+        expected[2] += 2.0
+        expected[3] += 1.0
+        np.testing.assert_array_equal(table.grad, expected)
+
+    def test_coalesce_merges_duplicates(self):
+        grad = SparseRowGrad((4, 2), np.array([2, 0, 2]),
+                             np.ones((3, 2)))
+        coalesced = grad.coalesce()
+        assert coalesced.nnz == 2
+        np.testing.assert_array_equal(coalesced.to_dense(), grad.to_dense())
+
+    def test_multidim_indices(self):
+        table = Tensor(np.zeros((5, 2)), requires_grad=True)
+        idx = np.array([[0, 1], [1, 4]])
+        F.embedding_lookup(table, idx).sum().backward()
+        expected = np.zeros((5, 2))
+        np.add.at(expected, idx.reshape(-1), np.ones((4, 2)))
+        np.testing.assert_array_equal(table.grad, expected)
+
+
+class TestZeroEdgeFeatures:
+    def test_attach_without_edge_feats_is_lazy(self):
+        stream = synthetic_stream(edge_feats=False)
+        rng = np.random.default_rng(0)
+        enc = make_encoder("tgn", stream.num_nodes, rng, memory_dim=8,
+                           embed_dim=8, time_dim=4, edge_dim=4, n_neighbors=3)
+        enc.attach(stream)
+        assert isinstance(enc._edge_feats, ZeroEdgeFeatures)
+        z = enc.compute_embedding(np.array([0, 1]), np.array([50.0, 50.0]))
+        assert z.shape == (2, 8)
+
+    def test_rows_are_zero_and_writable(self):
+        feats = ZeroEdgeFeatures(3)
+        rows = feats[np.array([5, 9])]
+        assert rows.shape == (2, 3)
+        rows[0] = 1.0  # embedding path masks rows in place
+        assert feats[np.array([5])].sum() == 0.0
+        assert feats[7].shape == (3,)
+
+    def test_engines_agree_without_edge_feats(self):
+        stream = synthetic_stream(edge_feats=False)
+        encoders = build_pair("tgn", stream)
+        for batch in list(chronological_batches(
+                stream, 60, np.random.default_rng(1)))[:3]:
+            zs = {}
+            for engine, enc in encoders.items():
+                zs[engine] = enc.compute_embedding(batch.src,
+                                                   batch.timestamps).data
+                enc.register_batch(batch)
+                enc.end_batch()
+            np.testing.assert_array_equal(zs["dense"], zs["sparse"])
+
+
+class TestClipGradNorm:
+    def test_matches_per_parameter_reference(self):
+        rng = np.random.default_rng(0)
+        params = [Parameter(rng.normal(size=s)) for s in ((3, 4), (5,), (2, 2))]
+        grads = [rng.normal(size=p.shape) for p in params]
+        expected_norm = float(np.sqrt(sum((g ** 2).sum() for g in grads)))
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+        norm = clip_grad_norm(params, 1.0)
+        assert norm == pytest.approx(expected_norm)
+        clipped = np.sqrt(sum((p.grad ** 2).sum() for p in params))
+        assert clipped == pytest.approx(1.0)
+
+    def test_no_grads_returns_zero(self):
+        assert clip_grad_norm([Parameter(np.ones(3))], 1.0) == 0.0
+
+    def test_below_threshold_untouched(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_handles_sparse_grads(self):
+        p = Parameter(np.zeros((4, 2)))
+        F.embedding_lookup(p, np.array([1, 1])).sum().backward()
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(np.sqrt(8.0))  # row 1 accumulates [2, 2]
+
+
+class TestDtype:
+    def test_default_dtype_context(self):
+        assert get_default_dtype() == np.float64
+        with default_dtype(np.float32):
+            assert Tensor(np.zeros(2)).data.dtype == np.float32
+            with default_dtype(np.float64):
+                assert Tensor(np.zeros(2)).data.dtype == np.float64
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_non_float_default_rejected(self):
+        with pytest.raises(ValueError):
+            with default_dtype(np.int64):
+                pass
+
+    def test_float32_pretrain_end_to_end(self):
+        stream = synthetic_stream(num_nodes=20, events=120)
+        cfg = CPDGConfig(epochs=1, batch_size=60, memory_dim=8, embed_dim=8,
+                         time_dim=4, edge_dim=4, n_neighbors=3, eta=3,
+                         epsilon=3, num_checkpoints=2, dtype="float32")
+        trainer = CPDGPreTrainer.from_backbone("tgn", stream.num_nodes, cfg)
+        assert trainer.encoder.memory.state.dtype == np.float32
+        for param in trainer.encoder.parameters():
+            assert param.data.dtype == np.float32
+        result = trainer.pretrain(stream)
+        assert result.memory_state.dtype == np.float32
+        assert result.checkpoints[0].dtype == np.float32
+        assert np.isfinite(np.asarray(result.loss_history)).all()
+
+    def test_float32_artifact_roundtrip(self, tmp_path):
+        from repro.api import Pipeline, RunConfig
+        config = RunConfig.from_dict({
+            "backbone": "tgn",
+            "pretrain": {"epochs": 1, "batch_size": 80, "memory_dim": 8,
+                         "embed_dim": 8, "time_dim": 4, "edge_dim": 4,
+                         "n_neighbors": 3, "eta": 3, "epsilon": 3,
+                         "num_checkpoints": 2, "dtype": "float32"},
+            "data": {"dataset": "meituan", "num_users": 12, "num_items": 8,
+                     "events_main": 200},
+        })
+        path = tmp_path / "artifact.npz"
+        Pipeline(config).pretrain().save(str(path))
+        from repro.api.artifact import PretrainArtifact
+        loaded = PretrainArtifact.load(str(path))
+        assert loaded.result.memory_state.dtype == np.float32
+        assert loaded.describe()["memory_dtype"] == "float32"
+        assert loaded.run_config.pretrain.dtype == "float32"
+
+    def test_config_rejects_unknown_dtype_and_engine(self):
+        with pytest.raises(ValueError):
+            CPDGConfig(dtype="float16").validate()
+        with pytest.raises(ValueError):
+            CPDGConfig(memory_engine="mmap").validate()
+
+    def test_memory_persist_preserves_dtype(self):
+        mem = Memory(3, 2, dtype=np.float32)
+        mem.persist(np.ones((3, 2), dtype=np.float64))
+        assert mem.state.dtype == np.float32
+        clone = mem.clone()
+        assert clone.state.dtype == np.float32
