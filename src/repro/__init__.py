@@ -10,6 +10,8 @@ Graph Neural Networks* (ICDE 2024) end-to-end on a pure-numpy substrate:
 * :mod:`repro.dgnn` — the memory-based DGNN framework with TGN / JODIE /
   DyRep encoders,
 * :mod:`repro.core` — the CPDG contribution (samplers, contrasts, EIE),
+* :mod:`repro.stream` — the streaming batch pipeline (deterministic batch
+  plans, serial / multiprocess producers over memory-mapped graph shards),
 * :mod:`repro.baselines` — static and dynamic comparison methods,
 * :mod:`repro.tasks` — downstream trainers and metrics,
 * :mod:`repro.experiments` — one runner per paper table/figure,

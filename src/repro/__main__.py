@@ -26,6 +26,7 @@ import sys
 
 from .api import (ArtifactError, ConfigError, Pipeline, PretrainArtifact,
                   RunConfig, parse_set_args)
+from .stream import StreamError
 
 
 def _load_run_config(args: argparse.Namespace,
@@ -39,6 +40,11 @@ def _load_run_config(args: argparse.Namespace,
     else:
         config = RunConfig()
     overrides = parse_set_args(getattr(args, "set", None))
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        # One flag drives both stages; dotted --set overrides still win.
+        overrides = {"pretrain.num_workers": workers,
+                     "finetune.num_workers": workers, **overrides}
     if overrides:
         config = config.with_overrides(overrides)
     flags = {}
@@ -188,6 +194,9 @@ def _add_config_options(parser: argparse.ArgumentParser,
                         help="dotted config override, e.g. pretrain.beta=0.3 "
                              "(repeatable)")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="batch-producer worker processes (0 = "
+                             "in-process; overrides *.num_workers)")
     if with_model_flags:
         parser.add_argument("--task", default=None,
                             help="link_prediction | node_classification")
@@ -249,6 +258,15 @@ def main(argv: list[str] | None = None) -> int:
         return handlers[args.command](args)
     except (ConfigError, ArtifactError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except StreamError as exc:
+        # Producer misconfiguration (no spawn support, stream too small to
+        # shard, dead workers): one actionable line, not a multiprocessing
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: re-run with --workers 0 (or --set "
+              "pretrain.num_workers=0) for in-process batch production",
+              file=sys.stderr)
         return 2
 
 

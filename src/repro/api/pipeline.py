@@ -91,12 +91,24 @@ class Pipeline:
     # stage 1: pre-training
     # ------------------------------------------------------------------
     def pretrain(self, stream: EventStream | None = None,
-                 verbose: bool = False) -> "Pipeline":
+                 verbose: bool = False,
+                 num_workers: int | None = None) -> "Pipeline":
         """Run CPDG pre-training (Algorithm 1) and keep the artifact.
 
         ``stream`` defaults to the pre-training stream resolved from
         ``config.data``; pass one explicitly to pre-train on custom data.
+        ``num_workers`` overrides ``config.pretrain.num_workers`` for this
+        run (0 = in-process batch production, N = spawn workers over
+        memory-mapped graph shards); per-batch seeding keeps the result
+        bit-identical either way.
         """
+        # One-shot override: the trainer (and the artifact's embedded
+        # as-run config) see it, but the pipeline's own config is
+        # untouched for later stages/runs.
+        config = self.config
+        if num_workers is not None:
+            config = config.with_overrides(
+                {"pretrain.num_workers": int(num_workers)})
         if stream is None:
             resolved = self._data()
             stream, num_nodes = resolved.pretrain, resolved.num_nodes
@@ -106,12 +118,12 @@ class Pipeline:
             dataset_name = stream.name
         delta_scale = max(stream.timespan / max(stream.num_events, 1), 1e-6)
         trainer = CPDGPreTrainer.from_backbone(
-            self.config.backbone, num_nodes, self.config.pretrain,
+            config.backbone, num_nodes, config.pretrain,
             delta_scale=delta_scale)
         result = trainer.pretrain(stream, verbose=verbose)
         self.artifact = PretrainArtifact(
             result=result,
-            run_config=self.config,
+            run_config=config,
             num_nodes=num_nodes,
             delta_scale=delta_scale,
             dataset_fingerprint=stream_fingerprint(stream),

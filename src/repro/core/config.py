@@ -63,6 +63,16 @@ class CPDGConfig:
     memory_engine: str = "sparse"
     dtype: str = "float32"
 
+    # Streaming batch pipeline (repro.stream).  ``num_workers=0`` produces
+    # batches in-process; N >= 1 fans sampling + staging out over N spawn
+    # workers sharing memory-mapped graph shards.  Per-batch seeding makes
+    # both paths bit-identical.  ``prefetch_batches`` bounds in-flight
+    # batches (backpressure); ``mmap_graph`` makes the trainer itself read
+    # the CSR from memory-mapped shards (event streams exceeding RAM).
+    num_workers: int = 0
+    prefetch_batches: int = 4
+    mmap_graph: bool = False
+
     seed: int = 0
 
     @property
@@ -94,3 +104,7 @@ class CPDGConfig:
             raise ValueError("need at least one checkpoint")
         if self.epochs < 1 or self.batch_size < 1:
             raise ValueError("epochs and batch_size must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = in-process)")
+        if self.prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be positive")

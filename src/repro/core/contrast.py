@@ -27,7 +27,8 @@ from ..nn.losses import info_nce_loss, triplet_margin_loss
 from .samplers import (EpsilonDFSSampler, EtaBFSSampler, PrecomputedSampler,
                        SubgraphBatch)
 
-__all__ = ["subgraph_readout", "TemporalContrast", "StructuralContrast",
+__all__ = ["subgraph_readout", "contrast_loss_from_pairs",
+           "draw_other_roots", "TemporalContrast", "StructuralContrast",
            "READOUTS", "OBJECTIVES"]
 
 READOUTS = ("mean", "max", "sum")
@@ -79,6 +80,24 @@ def _contrast_objective(objective: str, anchor: Tensor, positive: Tensor,
     raise ValueError(f"unknown objective {objective!r}; expected {OBJECTIVES}")
 
 
+def contrast_loss_from_pairs(embeddings: Tensor, memory,
+                             positives: SubgraphBatch,
+                             negatives: SubgraphBatch,
+                             readout: str = "mean",
+                             objective: str = "triplet",
+                             margin: float = 1.0) -> Tensor:
+    """Contrast loss over *pre-sampled* positive/negative subgraphs.
+
+    The consumer half of either contrast: pool the memory states of the
+    given subgraphs (Eq. 9/10/12/13) and apply the objective
+    (Eq. 11/14).  Pure function of model state — it draws nothing — so a
+    trainer fed by a batch producer needs no sampler objects at all.
+    """
+    h_pos = subgraph_readout(memory, positives, readout)
+    h_neg = subgraph_readout(memory, negatives, readout)
+    return _contrast_objective(objective, embeddings, h_pos, h_neg, margin)
+
+
 class TemporalContrast:
     """Temporal contrast ``L_η`` (paper Eq. 11).
 
@@ -97,20 +116,44 @@ class TemporalContrast:
         self.readout = readout
         self.objective = objective
 
-    def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray
+    def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray,
+                     rngs: tuple[np.random.Generator,
+                                 np.random.Generator] | None = None
                      ) -> tuple[SubgraphBatch, SubgraphBatch]:
-        """Draw ``(TP_i^t, TN_i^t)`` for the whole batch in two kernel calls."""
-        positives = self.positive_sampler.sample_batch(nodes, ts)
-        negatives = self.negative_sampler.sample_batch(nodes, ts)
+        """Draw ``(TP_i^t, TN_i^t)`` for the whole batch in two kernel calls.
+
+        ``rngs`` are optional per-call ``(positive, negative)`` generators;
+        without them the samplers' own shared generators advance (draws
+        then depend on every batch sampled before — see
+        :mod:`repro.stream` for the order-independent derivation).
+        """
+        pos_rng, neg_rng = rngs if rngs is not None else (None, None)
+        positives = self.positive_sampler.sample_batch(nodes, ts, rng=pos_rng)
+        negatives = self.negative_sampler.sample_batch(nodes, ts, rng=neg_rng)
         return positives, negatives
 
     def loss(self, embeddings: Tensor, memory: Tensor,
-             nodes: np.ndarray, ts: np.ndarray) -> Tensor:
-        positives, negatives = self.sample_pairs(nodes, ts)
-        h_tp = subgraph_readout(memory, positives, self.readout)
-        h_tn = subgraph_readout(memory, negatives, self.readout)
-        return _contrast_objective(self.objective, embeddings, h_tp, h_tn,
-                                   self.margin)
+             nodes: np.ndarray | None = None, ts: np.ndarray | None = None,
+             pairs: tuple[SubgraphBatch, SubgraphBatch] | None = None
+             ) -> Tensor:
+        """``L_η`` for one batch; samples unless pre-drawn ``pairs`` given."""
+        if pairs is None:
+            pairs = self.sample_pairs(nodes, ts)
+        return contrast_loss_from_pairs(embeddings, memory, *pairs,
+                                        readout=self.readout,
+                                        objective=self.objective,
+                                        margin=self.margin)
+
+
+def draw_other_roots(nodes: np.ndarray, num_nodes: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """One random node ``i' != i`` per row (instance-discrimination roots)."""
+    others = rng.integers(0, num_nodes, size=len(nodes))
+    collide = others == nodes
+    while collide.any():
+        others[collide] = rng.integers(0, num_nodes, size=int(collide.sum()))
+        collide = others == nodes
+    return others
 
 
 class StructuralContrast:
@@ -136,27 +179,34 @@ class StructuralContrast:
         self._rng = np.random.default_rng(seed)
 
     def sample_pairs(self, nodes: np.ndarray, ts: np.ndarray,
-                     num_nodes: int) -> tuple[SubgraphBatch, SubgraphBatch]:
-        """Draw ``(SP_i^t, SN_{i'}^t)``; ``i'`` is a random node ≠ i."""
+                     num_nodes: int,
+                     rng: np.random.Generator | None = None
+                     ) -> tuple[SubgraphBatch, SubgraphBatch]:
+        """Draw ``(SP_i^t, SN_{i'}^t)``; ``i'`` is a random node ≠ i.
+
+        ``rng`` overrides the shared generator for the negative-root draw
+        (the ε-DFS expansion itself is deterministic).
+        """
         if num_nodes < 2:
             raise ValueError("structural contrast needs at least two nodes "
                              "to draw a negative root")
+        rng = rng if rng is not None else self._rng
         nodes = np.asarray(nodes, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
         positives = self.sampler.sample_batch(nodes, ts)
-        others = self._rng.integers(0, num_nodes, size=len(nodes))
-        collide = others == nodes
-        while collide.any():
-            others[collide] = self._rng.integers(0, num_nodes,
-                                                 size=int(collide.sum()))
-            collide = others == nodes
+        others = draw_other_roots(nodes, num_nodes, rng)
         negatives = self.sampler.sample_batch(others, ts)
         return positives, negatives
 
     def loss(self, embeddings: Tensor, memory: Tensor,
-             nodes: np.ndarray, ts: np.ndarray, num_nodes: int) -> Tensor:
-        positives, negatives = self.sample_pairs(nodes, ts, num_nodes)
-        h_sp = subgraph_readout(memory, positives, self.readout)
-        h_sn = subgraph_readout(memory, negatives, self.readout)
-        return _contrast_objective(self.objective, embeddings, h_sp, h_sn,
-                                   self.margin)
+             nodes: np.ndarray | None = None, ts: np.ndarray | None = None,
+             num_nodes: int | None = None,
+             pairs: tuple[SubgraphBatch, SubgraphBatch] | None = None
+             ) -> Tensor:
+        """``L_ε`` for one batch; samples unless pre-drawn ``pairs`` given."""
+        if pairs is None:
+            pairs = self.sample_pairs(nodes, ts, num_nodes)
+        return contrast_loss_from_pairs(embeddings, memory, *pairs,
+                                        readout=self.readout,
+                                        objective=self.objective,
+                                        margin=self.margin)

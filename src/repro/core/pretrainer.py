@@ -1,37 +1,46 @@
-"""The CPDG pre-training loop (paper Algorithm 1).
+"""The CPDG pre-training loop (paper Algorithm 1), consumer side.
 
-Walks the pre-training stream chronologically; per batch it
+Per batch, Algorithm 1 (i) samples η-BFS/ε-DFS contrast subgraphs,
+(ii) stages raw messages and (iii) takes one gradient step.  Steps (i)
+and the model-independent half of (ii) are *production* — pure functions
+of the graph once seeds derive from batch coordinates — and live in
+:mod:`repro.stream`.  This trainer is the consumer: it iterates
+:class:`~repro.stream.PreparedBatch`es from a
+:class:`~repro.stream.BatchProducer` (in-process by default,
+``config.num_workers`` spawn workers over memory-mapped graph shards
+otherwise) and keeps only encoder / memory / optimizer state.  Per batch
+it
 
 1. computes centre-node embeddings with the DGNN encoder,
-2. draws temporal positive/negative subgraphs (η-BFS, chronological vs
-   reverse-chronological) with the whole-frontier ``sample_batch``
-   kernels and computes ``L_η`` (Eq. 11),
-3. draws structural positive/negative subgraphs (ε-DFS, self vs random
-   other node; optionally served from the §IV-A precomputation cache)
-   and computes ``L_ε`` (Eq. 14),
+2. pools the pre-sampled temporal positive/negative subgraphs and
+   computes ``L_η`` (Eq. 11),
+3. pools the pre-sampled structural subgraphs and computes ``L_ε``
+   (Eq. 14),
 4. adds the temporal-link-prediction pretext ``L_tlp`` (Eq. 16),
 5. minimises ``L_pre = (1-β)·L_η + β·L_ε + L_tlp`` (Eq. 17),
 
 while snapshotting the memory ``L`` times uniformly over training for the
-EIE module (Eq. 18).  Ablation flags reproduce the w/o-TC and w/o-SC
-variants of Figure 5.
+EIE module (Eq. 18).  Because every batch's randomness is keyed by
+``(seed, epoch, batch_idx)``, serial and multiprocess runs produce
+bit-identical loss histories.  Ablation flags reproduce the w/o-TC and
+w/o-SC variants of Figure 5.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..dgnn.encoder import DGNNEncoder, make_encoder
-from ..graph.batching import chronological_batches
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn.autograd import Tensor, default_dtype
 from ..nn.optim import Adam, clip_grad_norm
 from .checkpoints import CheckpointSchedule, MemoryCheckpoints
 from .config import CPDGConfig
-from .contrast import StructuralContrast, TemporalContrast
+from .contrast import contrast_loss_from_pairs
 from .pretext import LinkPredictionHead
 
 __all__ = ["PretrainResult", "CPDGPreTrainer"]
@@ -92,6 +101,30 @@ class CPDGPreTrainer:
         return cls(encoder, config)
 
     # ------------------------------------------------------------------
+    # production setup
+    # ------------------------------------------------------------------
+    def producer_spec(self, stream: EventStream,
+                      shard_dir: str | None = None):
+        """The production recipe Algorithm 1 needs for ``stream``
+        (a :class:`~repro.stream.ProducerSpec`)."""
+        # Imported here (not at module level): repro.stream's producers
+        # import the samplers from repro.core, and spawn workers import
+        # repro.stream first — a module-level import either way would be
+        # circular.
+        from ..stream import ProducerSpec
+        cfg = self.config
+        return ProducerSpec(
+            batch_size=cfg.batch_size, seed=cfg.seed, epochs=cfg.epochs,
+            sample_temporal=cfg.use_temporal_contrast and cfg.beta < 1.0,
+            sample_structural=cfg.use_structural_contrast and cfg.beta > 0.0,
+            eta=cfg.eta, epsilon=cfg.epsilon, depth=cfg.depth, tau=cfg.tau,
+            precompute_samplers=cfg.precompute_samplers,
+            sampler_cache_capacity=cfg.sampler_cache_capacity,
+            compute_messages=True,
+            stream=None if shard_dir is not None else stream,
+            shard_dir=shard_dir)
+
+    # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
     def pretrain(self, stream: EventStream, verbose: bool = False) -> PretrainResult:
@@ -105,75 +138,92 @@ class CPDGPreTrainer:
             return self._pretrain(stream, verbose)
 
     def _pretrain(self, stream: EventStream, verbose: bool) -> PretrainResult:
+        from ..stream import BatchPlan, export_graph_shards, make_producer
         cfg = self.config
         encoder = self.encoder
+
         finder = NeighborFinder(stream)
+        shards: tempfile.TemporaryDirectory | None = None
+        shard_dir = None
+        if cfg.mmap_graph:
+            # Trainer-side memory mapping: export once, then reopen the
+            # CSR read-only; producer workers mount the same directory.
+            shards = tempfile.TemporaryDirectory(prefix="repro-graph-")
+            shard_dir = export_graph_shards(stream, shards.name,
+                                            finder=finder)
+            finder = NeighborFinder.open(shard_dir, mmap=True)
         encoder.attach(stream, finder)
         encoder.reset_memory()
 
-        temporal = TemporalContrast(finder, cfg.eta, cfg.depth, tau=cfg.tau,
-                                    margin=cfg.margin, seed=cfg.seed,
-                                    readout=cfg.readout,
-                                    objective=cfg.objective)
-        structural = StructuralContrast(finder, cfg.epsilon, cfg.depth,
-                                        margin=cfg.margin, seed=cfg.seed + 7,
-                                        readout=cfg.readout,
-                                        objective=cfg.objective,
-                                        precompute=cfg.precompute_samplers,
-                                        cache_capacity=cfg.sampler_cache_capacity)
+        plan = BatchPlan(stream.num_events, cfg.batch_size,
+                         epochs=cfg.epochs, seed=cfg.seed)
+        spec = self.producer_spec(stream, shard_dir=shard_dir)
+        producer = make_producer(spec, plan, num_workers=cfg.num_workers,
+                                 prefetch_batches=cfg.prefetch_batches,
+                                 stream=stream, finder=finder)
 
         params = encoder.parameters() + self.pretext.parameters()
         optimizer = Adam(params, lr=cfg.learning_rate)
-
-        batches_per_epoch = int(np.ceil(stream.num_events / cfg.batch_size))
-        total_steps = cfg.epochs * batches_per_epoch
-        schedule = CheckpointSchedule(total_steps, cfg.num_checkpoints)
+        schedule = CheckpointSchedule(len(plan), cfg.num_checkpoints)
         checkpoints = MemoryCheckpoints(dtype=cfg.np_dtype)
 
         history: list[tuple[float, float, float]] = []
         step = 0
-        for epoch in range(cfg.epochs):
-            encoder.reset_memory()
-            for batch in chronological_batches(stream, cfg.batch_size, self._rng):
-                step += 1
-                z_src = encoder.compute_embedding(batch.src, batch.timestamps)
-                z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
-                z_neg = encoder.compute_embedding(batch.neg_dst, batch.timestamps)
-                memory = encoder.flush_messages()
+        current_epoch = -1
+        try:
+            with producer:
+                for prepared in producer:
+                    if prepared.epoch != current_epoch:
+                        if verbose and current_epoch >= 0:
+                            self._print_epoch(current_epoch, history)
+                        current_epoch = prepared.epoch
+                        encoder.reset_memory()
+                    step += 1
+                    batch = prepared.batch
+                    z_src = encoder.compute_embedding(batch.src, batch.timestamps)
+                    z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
+                    z_neg = encoder.compute_embedding(batch.neg_dst,
+                                                      batch.timestamps)
+                    memory = encoder.flush_messages()
 
-                zero = Tensor(0.0)
-                loss_eta = zero
-                if cfg.use_temporal_contrast and cfg.beta < 1.0:
-                    loss_eta = temporal.loss(z_src, memory, batch.src,
-                                             batch.timestamps)
-                loss_eps = zero
-                if cfg.use_structural_contrast and cfg.beta > 0.0:
-                    loss_eps = structural.loss(z_src, memory, batch.src,
-                                               batch.timestamps,
-                                               stream.num_nodes)
-                loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
+                    zero = Tensor(0.0)
+                    loss_eta = zero
+                    if spec.sample_temporal:
+                        loss_eta = contrast_loss_from_pairs(
+                            z_src, memory, *prepared.temporal_pairs,
+                            readout=cfg.readout, objective=cfg.objective,
+                            margin=cfg.margin)
+                    loss_eps = zero
+                    if spec.sample_structural:
+                        loss_eps = contrast_loss_from_pairs(
+                            z_src, memory, *prepared.structural_pairs,
+                            readout=cfg.readout, objective=cfg.objective,
+                            margin=cfg.margin)
+                    loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
 
-                loss = loss_tlp
-                if cfg.use_temporal_contrast:
-                    loss = loss + (1.0 - cfg.beta) * loss_eta
-                if cfg.use_structural_contrast:
-                    loss = loss + cfg.beta * loss_eps
+                    loss = loss_tlp
+                    if cfg.use_temporal_contrast:
+                        loss = loss + (1.0 - cfg.beta) * loss_eta
+                    if cfg.use_structural_contrast:
+                        loss = loss + cfg.beta * loss_eps
 
-                optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(params, cfg.grad_clip)
-                optimizer.step()
+                    optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(params, cfg.grad_clip)
+                    optimizer.step()
 
-                encoder.register_batch(batch)
-                encoder.end_batch()
-                history.append((loss_eta.item(), loss_eps.item(), loss_tlp.item()))
+                    encoder.register_batch(batch, messages=prepared.messages)
+                    encoder.end_batch()
+                    history.append((loss_eta.item(), loss_eps.item(),
+                                    loss_tlp.item()))
 
-                if schedule.should_checkpoint(step):
-                    checkpoints.add(encoder.memory_checkpoint())
-            if verbose:
-                eta_v, eps_v, tlp_v = history[-1]
-                print(f"[cpdg] epoch {epoch + 1}/{cfg.epochs} "
-                      f"L_eta={eta_v:.4f} L_eps={eps_v:.4f} L_tlp={tlp_v:.4f}")
+                    if schedule.should_checkpoint(step):
+                        checkpoints.add(encoder.memory_checkpoint())
+            if verbose and current_epoch >= 0:
+                self._print_epoch(current_epoch, history)
+        finally:
+            if shards is not None:
+                shards.cleanup()
 
         return PretrainResult(
             encoder_state=encoder.state_dict(),
@@ -182,3 +232,9 @@ class CPDGPreTrainer:
             checkpoints=checkpoints,
             loss_history=history,
         )
+
+    def _print_epoch(self, epoch: int,
+                     history: list[tuple[float, float, float]]) -> None:
+        eta_v, eps_v, tlp_v = history[-1]
+        print(f"[cpdg] epoch {epoch + 1}/{self.config.epochs} "
+              f"L_eta={eta_v:.4f} L_eps={eps_v:.4f} L_tlp={tlp_v:.4f}")

@@ -146,7 +146,8 @@ class EtaBFSSampler:
     # ------------------------------------------------------------------
     # batched kernel
     # ------------------------------------------------------------------
-    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray,
+                     rng: np.random.Generator | None = None) -> SubgraphBatch:
         """Draw one η-BFS subgraph per ``(root, t)`` row, whole-frontier.
 
         Rows are expanded hop-by-hop together; each hop is a batched CSR
@@ -155,7 +156,13 @@ class EtaBFSSampler:
         sample ∝ ``w``) over all neighbour segments — a handful of numpy
         passes, no per-segment sort.  Rows with no history before ``t``
         come back empty.
+
+        ``rng`` overrides the sampler's own (shared, order-dependent)
+        generator; batch producers pass one derived from
+        ``(seed, epoch, batch_idx)`` so a batch's draw is independent of
+        every other batch.
         """
+        rng = rng if rng is not None else self._rng
         roots = np.asarray(roots, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
         f_nodes, f_rows = roots, np.arange(len(roots), dtype=np.int64)
@@ -170,7 +177,7 @@ class EtaBFSSampler:
             if not nz.any():
                 break
             picked_nodes, picked_rows = self._expand_hop(
-                starts[nz], ends[nz], deg[nz], f_rows[nz], ts)
+                starts[nz], ends[nz], deg[nz], f_rows[nz], ts, rng)
             if len(picked_nodes) == 0:
                 break
             picks_rows.append(picked_rows)
@@ -179,8 +186,8 @@ class EtaBFSSampler:
         return _assemble(picks_rows, picks_nodes, roots, self.finder.num_nodes)
 
     def _expand_hop(self, starts: np.ndarray, ends: np.ndarray,
-                    deg: np.ndarray, rows: np.ndarray, ts: np.ndarray
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    deg: np.ndarray, rows: np.ndarray, ts: np.ndarray,
+                    rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
         """Draw up to η neighbours for every frontier occurrence at once.
 
         Occurrences with ``deg <= η`` keep their whole (non-zero-support)
@@ -237,7 +244,7 @@ class EtaBFSSampler:
                 chunk = max(1, int(5e7) // width)
                 for lo in range(0, len(occ_cls), chunk):
                     hi = min(lo + chunk, len(occ_cls))
-                    race = self._rng.exponential(size=(hi - lo, width))
+                    race = rng.exponential(size=(hi - lo, width))
                     race *= inv_w[occ_cls[lo:hi]]
                     part = np.argpartition(race, self.eta - 1,
                                            axis=1)[:, :self.eta]
@@ -341,11 +348,13 @@ class EpsilonDFSSampler:
         self.epsilon = epsilon
         self.depth = depth
 
-    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray,
+                     rng: np.random.Generator | None = None) -> SubgraphBatch:
         """Draw one ε-DFS subgraph per ``(root, t)`` row, whole-frontier.
 
         Deterministic: agrees element-for-element (ids *and* order) with
-        running :meth:`sample_reference` row by row.
+        running :meth:`sample_reference` row by row.  ``rng`` is accepted
+        (and ignored) so both samplers share one batch interface.
         """
         roots = np.asarray(roots, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
@@ -443,12 +452,15 @@ class PrecomputedSampler:
             self._cache.move_to_end(key)
         return hit
 
-    def sample_batch(self, roots: np.ndarray, ts: np.ndarray) -> SubgraphBatch:
+    def sample_batch(self, roots: np.ndarray, ts: np.ndarray,
+                     rng: np.random.Generator | None = None) -> SubgraphBatch:
         """Batched lookup; only cache misses hit the underlying sampler.
 
         Result rows are pinned outside the cache for the duration of the
         call, so a capacity smaller than the batch's distinct keys only
-        costs extra evictions — never a lost row.
+        costs extra evictions — never a lost row.  ``rng`` is forwarded to
+        the wrapped sampler on misses (only the deterministic ε-DFS
+        sampler should be cached, so it normally has no effect).
         """
         roots = np.asarray(roots, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
@@ -468,7 +480,8 @@ class PrecomputedSampler:
                 values[key] = hit
                 self._cache.move_to_end(key)
         if miss_idx:
-            fresh = self.sampler.sample_batch(roots[miss_idx], ts[miss_idx])
+            fresh = self.sampler.sample_batch(roots[miss_idx], ts[miss_idx],
+                                              rng=rng)
             for row, i in enumerate(miss_idx):
                 sub = fresh.row(row).copy()
                 values[keys[i]] = sub

@@ -250,12 +250,18 @@ class DGNNEncoder(Module):
         return self.embedding_module(ctx, np.asarray(nodes, dtype=np.int64),
                                      np.asarray(ts, dtype=np.float64))
 
-    def register_batch(self, batch: EventBatch) -> None:
+    def register_batch(self, batch: EventBatch, messages=None) -> None:
         """Queue raw messages for this batch's events (paper Eq. 2 inputs).
 
         Stages detached endpoint states as flat arrays (one gather for the
         whole batch) so the flush in the *next* batch recomputes messages
         inside that batch's graph.
+
+        ``messages`` is an optional pre-staged
+        :class:`~repro.stream.prepared.MessageSkeleton` — the
+        model-independent half (endpoint interleaving + time deltas) a
+        batch producer computed off-process; only the memory-state gather
+        then happens here.
         """
         size = len(batch)
         if size == 0:
@@ -267,21 +273,29 @@ class DGNNEncoder(Module):
             states = self._flushed.current_rows(endpoints)
         else:
             states = self._memory.state[endpoints]
-        # Stage rows interleaved in event order (src then dst per event)
-        # so "last message per node" means the chronologically last event
-        # touching the node, whichever endpoint role it played.
-        nodes = np.empty(2 * size, dtype=np.int64)
-        nodes[0::2] = src
-        nodes[1::2] = dst
+        if messages is not None:
+            nodes = messages.nodes
+            times = messages.times
+            deltas = messages.delta_t
+            event_ids = messages.event_ids
+        else:
+            # Stage rows interleaved in event order (src then dst per
+            # event) so "last message per node" means the chronologically
+            # last event touching the node, whichever endpoint role it
+            # played.
+            nodes = np.empty(2 * size, dtype=np.int64)
+            nodes[0::2] = src
+            nodes[1::2] = dst
+            times = np.repeat(np.asarray(batch.timestamps, dtype=np.float64), 2)
+            deltas = times - self._memory.last_update[nodes]
+            event_ids = np.repeat(np.asarray(batch.event_ids,
+                                             dtype=np.int64), 2)
         self_state = np.empty((2 * size,) + states.shape[1:], dtype=states.dtype)
         self_state[0::2] = states[:size]
         self_state[1::2] = states[size:]
         other_state = np.empty_like(self_state)
         other_state[0::2] = states[size:]
         other_state[1::2] = states[:size]
-        times = np.repeat(np.asarray(batch.timestamps, dtype=np.float64), 2)
-        deltas = times - self._memory.last_update[nodes]
-        event_ids = np.repeat(np.asarray(batch.event_ids, dtype=np.int64), 2)
         # Capture feature rows now (zero tables stay lazy): a later
         # attach() to another stream must not change pending messages.
         edge_feat = None

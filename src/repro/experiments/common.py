@@ -20,11 +20,15 @@ fine-tunes on two targets — pay for each pre-training only once.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..api import Pipeline, PretrainArtifact, RunConfig
+from ..api import (ArtifactError, Pipeline, PretrainArtifact, RunConfig,
+                   stream_fingerprint)
 from ..baselines.pretrain import BaselinePretrainConfig
 from ..baselines.registry import BASELINES
 from ..core.config import CPDGConfig
@@ -151,15 +155,57 @@ class ExperimentResult:
 
 
 class PretrainCache:
-    """Memoise pre-training results within one experiment run."""
+    """Memoise pre-training results — in memory, and on disk as artifacts.
 
-    def __init__(self):
+    Two tiers:
+
+    * :meth:`get` — in-memory memoisation within one runner process (the
+      historical behaviour; baseline cells cache live encoder objects
+      that have no file format).
+    * :meth:`get_artifact` — fingerprint-keyed
+      :class:`~repro.api.PretrainArtifact` files under ``cache_dir``, so
+      sweep cells (figures 6–8) reuse pre-training *across process
+      restarts*.  Keys must be process-stable (stream fingerprints, not
+      ``id()``); each key hashes to one ``.npz`` file.
+
+    ``cache_dir`` defaults to the ``REPRO_PRETRAIN_CACHE`` environment
+    variable; unset (the default for tests) keeps the cache memory-only.
+    """
+
+    def __init__(self, cache_dir: str | None = None):
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_PRETRAIN_CACHE") or None
+        self.cache_dir = cache_dir
         self._cache: dict[tuple, object] = {}
 
     def get(self, key: tuple, compute):
         if key not in self._cache:
             self._cache[key] = compute()
         return self._cache[key]
+
+    def _artifact_path(self, key: tuple) -> str:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+        return os.path.join(self.cache_dir, f"pretrain-{digest}.npz")
+
+    def get_artifact(self, key: tuple, compute) -> PretrainArtifact:
+        """Memory → disk → compute (writing back to both tiers)."""
+        if key in self._cache:
+            return self._cache[key]
+        path = self._artifact_path(key) if self.cache_dir else None
+        if path is not None and os.path.exists(path):
+            try:
+                artifact = PretrainArtifact.load(path)
+                self._cache[key] = artifact
+                return artifact
+            except ArtifactError:
+                # Stale/corrupt file (e.g. format bump): recompute over it.
+                pass
+        artifact = compute()
+        if path is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            artifact.save(path)
+        self._cache[key] = artifact
+        return artifact
 
 
 # ----------------------------------------------------------------------
@@ -193,11 +239,19 @@ def run_cpdg(backbone: str, num_nodes: int, pretrain_stream: EventStream,
     def compute() -> PretrainArtifact:
         return Pipeline(config).pretrain(pretrain_stream).artifact
 
-    key = ("cpdg", backbone, id(pretrain_stream), seed,
-           cfg.beta, cfg.eta, cfg.epsilon, cfg.depth, cfg.num_checkpoints,
-           cfg.use_temporal_contrast, cfg.use_structural_contrast,
-           *cache_key_extra)
-    artifact = cache.get(key, compute) if cache is not None else compute()
+    # Keyed by the stream's *content* fingerprint (not object identity)
+    # plus every hyper-parameter that shapes the artifact, so on-disk
+    # cache hits survive process restarts without colliding across
+    # scales/configs.  Execution knobs that are bit-identical by design
+    # (worker count, prefetch, mmap — see tests/test_stream_pipeline.py)
+    # are excluded so deployment settings still share one artifact.
+    cfg_items = {k: v for k, v in sorted(dataclasses.asdict(cfg).items())
+                 if k not in ("num_workers", "prefetch_batches",
+                              "mmap_graph")}
+    key = ("cpdg", backbone, stream_fingerprint(pretrain_stream),
+           tuple(cfg_items.items()), *cache_key_extra)
+    artifact = (cache.get_artifact(key, compute) if cache is not None
+                else compute())
 
     pipeline = Pipeline(config, artifact=artifact)
     return pipeline.finetune(split=split, num_nodes=num_nodes).evaluate()
@@ -242,7 +296,7 @@ def run_baseline(name: str, num_nodes: int, pretrain_stream: EventStream,
         memory = encoder.memory_snapshot()
         return encoder, state, memory
 
-    key = ("baseline", name, id(pretrain_stream), seed)
+    key = ("baseline", name, stream_fingerprint(pretrain_stream), seed)
     encoder, state, memory = (cache.get(key, compute) if cache is not None
                               else compute())
     encoder.load_state_dict(state)

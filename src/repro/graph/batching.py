@@ -15,7 +15,8 @@ import numpy as np
 
 from .events import EventStream
 
-__all__ = ["EventBatch", "chronological_batches", "RandomDestinationSampler"]
+__all__ = ["EventBatch", "chronological_batches", "batch_bounds",
+           "slice_event_batch", "RandomDestinationSampler"]
 
 
 @dataclass
@@ -33,6 +34,28 @@ class EventBatch:
         return len(self.src)
 
 
+def batch_bounds(num_events: int, batch_size: int) -> list[tuple[int, int]]:
+    """``[start, stop)`` event index pairs of the chronological batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    return [(start, min(start + batch_size, num_events))
+            for start in range(0, num_events, batch_size)]
+
+
+def slice_event_batch(stream: EventStream, start: int, stop: int,
+                      neg_dst: np.ndarray) -> EventBatch:
+    """Materialise one chronological slice of ``stream`` as an
+    :class:`EventBatch` with the given corrupted destinations."""
+    return EventBatch(
+        src=stream.src[start:stop],
+        dst=stream.dst[start:stop],
+        timestamps=stream.timestamps[start:stop],
+        neg_dst=neg_dst,
+        event_ids=np.arange(start, stop),
+        labels=None if stream.labels is None else stream.labels[start:stop],
+    )
+
+
 class RandomDestinationSampler:
     """Draw corrupted destinations uniformly from observed destination nodes.
 
@@ -41,14 +64,33 @@ class RandomDestinationSampler:
     bipartite graphs.
     """
 
-    def __init__(self, stream: EventStream, rng: np.random.Generator):
-        self._candidates = np.unique(stream.dst)
+    def __init__(self, stream: EventStream,
+                 rng: np.random.Generator | None = None,
+                 candidates: np.ndarray | None = None):
+        self._candidates = (np.asarray(candidates, dtype=np.int64)
+                            if candidates is not None
+                            else np.unique(stream.dst))
         if len(self._candidates) == 0:
             raise ValueError("stream has no destination nodes to sample from")
         self._rng = rng
 
-    def sample(self, size: int) -> np.ndarray:
-        idx = self._rng.integers(0, len(self._candidates), size=size)
+    @property
+    def candidates(self) -> np.ndarray:
+        """Sorted unique destination ids negatives are drawn from."""
+        return self._candidates
+
+    def sample(self, size: int, rng: np.random.Generator | None = None
+               ) -> np.ndarray:
+        """Draw ``size`` corrupted destinations.
+
+        ``rng`` overrides the sampler's own (shared, order-dependent)
+        generator — batch producers pass a per-batch generator so draws do
+        not depend on how many batches were sampled before.
+        """
+        rng = rng if rng is not None else self._rng
+        if rng is None:
+            raise ValueError("sampler built without an rng; pass one per call")
+        idx = rng.integers(0, len(self._candidates), size=size)
         return self._candidates[idx]
 
 
@@ -57,17 +99,7 @@ def chronological_batches(stream: EventStream, batch_size: int,
                           negative_sampler: RandomDestinationSampler | None = None,
                           ) -> Iterator[EventBatch]:
     """Yield :class:`EventBatch` objects over ``stream`` in time order."""
-    if batch_size <= 0:
-        raise ValueError("batch_size must be positive")
     sampler = negative_sampler or RandomDestinationSampler(stream, rng)
-    for start in range(0, stream.num_events, batch_size):
-        stop = min(start + batch_size, stream.num_events)
-        ids = np.arange(start, stop)
-        yield EventBatch(
-            src=stream.src[start:stop],
-            dst=stream.dst[start:stop],
-            timestamps=stream.timestamps[start:stop],
-            neg_dst=sampler.sample(stop - start),
-            event_ids=ids,
-            labels=None if stream.labels is None else stream.labels[start:stop],
-        )
+    for start, stop in batch_bounds(stream.num_events, batch_size):
+        yield slice_event_batch(stream, start, stop,
+                                sampler.sample(stop - start))

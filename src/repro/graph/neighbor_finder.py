@@ -16,15 +16,27 @@ flavours:
   ``batch_sample_uniform``) — operate on whole ``(nodes, ts)`` arrays via
   a vectorized segment binary search, so cost scales with event count
   rather than Python interpreter speed.
+
+The CSR is also portable: :meth:`NeighborFinder.export` writes the four
+arrays as ``.npy`` shards and :meth:`NeighborFinder.open` reconstructs a
+finder from them — optionally ``numpy.memmap``-backed, so producer worker
+processes (and trainers on streams that exceed RAM) read the adjacency
+read-only from the page cache instead of holding private copies.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import numpy as np
 
 from .events import EventStream
 
 __all__ = ["NeighborFinder"]
+
+_CSR_ARRAYS = ("indptr", "neighbors", "times", "event_ids")
+_CSR_META = "csr_meta.json"
 
 
 class NeighborFinder:
@@ -55,6 +67,64 @@ class NeighborFinder:
         counts = np.bincount(endpoints, minlength=self.num_nodes)
         self._indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=self._indptr[1:])
+
+    # ------------------------------------------------------------------
+    # construction from raw CSR arrays / shard files
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, neighbors: np.ndarray,
+                    times: np.ndarray, event_ids: np.ndarray
+                    ) -> "NeighborFinder":
+        """Wrap pre-built CSR arrays (read-only views are fine).
+
+        The arrays are adopted as-is — no copy, no re-sort — so they may be
+        ``numpy.memmap`` instances opened read-only from
+        :meth:`export`-written shards.
+        """
+        if len(neighbors) != len(times) or len(neighbors) != len(event_ids):
+            raise ValueError("neighbors, times and event_ids must have "
+                             "equal length")
+        finder = cls.__new__(cls)
+        finder.num_nodes = len(indptr) - 1
+        finder._indptr = indptr
+        finder._neighbors = neighbors
+        finder._times = times
+        finder._event_ids = event_ids
+        return finder
+
+    def export(self, directory: str) -> None:
+        """Write the CSR as one ``.npy`` shard per array plus a meta file.
+
+        The shards are plain ``numpy.save`` output, so any process can
+        :meth:`open` them memory-mapped without pickling the adjacency.
+        """
+        os.makedirs(directory, exist_ok=True)
+        for name in _CSR_ARRAYS:
+            np.save(os.path.join(directory, f"csr_{name}.npy"),
+                    np.ascontiguousarray(getattr(self, f"_{name}")))
+        meta = {"num_nodes": int(self.num_nodes),
+                "num_rows": int(len(self._neighbors))}
+        with open(os.path.join(directory, _CSR_META), "w") as fh:
+            json.dump(meta, fh)
+
+    @classmethod
+    def open(cls, directory: str, mmap: bool = True) -> "NeighborFinder":
+        """Reconstruct a finder from :meth:`export`-written shards.
+
+        With ``mmap=True`` (default) the arrays are opened as read-only
+        memory maps — queries page in only the segments they touch, so
+        many worker processes share one physical copy of the adjacency.
+        """
+        meta_path = os.path.join(directory, _CSR_META)
+        if not os.path.exists(meta_path):
+            raise FileNotFoundError(f"no CSR shards in {directory!r} "
+                                    f"(missing {_CSR_META})")
+        mode = "r" if mmap else None
+        arrays = {name: np.load(os.path.join(directory, f"csr_{name}.npy"),
+                                mmap_mode=mode)
+                  for name in _CSR_ARRAYS}
+        return cls.from_arrays(arrays["indptr"], arrays["neighbors"],
+                               arrays["times"], arrays["event_ids"])
 
     # ------------------------------------------------------------------
     # CSR views
@@ -142,19 +212,56 @@ class NeighborFinder:
         nodes = np.asarray(nodes, dtype=np.int64)
         ts = np.asarray(ts, dtype=np.float64)
         starts = self._indptr[nodes]
+        return starts, self._segment_cut(self._times, nodes, ts, starts)
+
+    def _segment_cut(self, values: np.ndarray, nodes: np.ndarray,
+                     thresholds: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """First flat index per node whose ``values`` entry is >= threshold.
+
+        A manual binary search over all rows at once (``O(log max_deg)``
+        numpy passes); ``values`` must be non-decreasing within each
+        node's CSR slice — true of both ``times`` and ``event_ids``.
+        """
         lo = starts.copy()
         hi = self._indptr[nodes + 1].copy()
-        if len(self._times) and len(nodes):
+        if len(values) and len(nodes):
             max_gap = int((hi - lo).max())
             # Invariant: the cut point lies in [lo, hi]; once lo == hi the
             # row is settled and further iterations leave it unchanged, so
             # a fixed ceil(log2) iteration count needs no active mask.
             for _ in range(max(max_gap, 1).bit_length()):
                 mid = (lo + hi) >> 1
-                go_right = (self._times[np.minimum(mid, len(self._times) - 1)] < ts) & (lo < hi)
+                go_right = (values[np.minimum(mid, len(values) - 1)]
+                            < thresholds) & (lo < hi)
                 lo = np.where(go_right, mid + 1, lo)
                 hi = np.where(go_right, hi, np.maximum(mid, lo))
-        return starts, lo
+        return lo
+
+    def batch_last_update(self, nodes: np.ndarray, event_cut: int,
+                          base: np.ndarray | None = None) -> np.ndarray:
+        """Most recent event time per node among events with id < ``event_cut``.
+
+        This is exactly the ``Memory.last_update`` value a chronological
+        trainer holds when it reaches the batch starting at event
+        ``event_cut`` (``touch`` keeps the max event time per node), so
+        batch producers can stage message time-deltas without any trainer
+        state.  Nodes with no earlier event report 0.0 — the reset value —
+        or ``base[node]`` when a carried-over last-update baseline is
+        given (fine-tuning continues the pre-trained clock).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self._indptr[nodes]
+        cut = self._segment_cut(self._event_ids, nodes,
+                                np.full(len(nodes), event_cut,
+                                        dtype=np.int64), starts)
+        floor = np.zeros(len(nodes)) if base is None \
+            else np.asarray(base, dtype=np.float64)[nodes]
+        has_history = cut > starts
+        out = floor.copy() if base is not None else floor
+        if has_history.any():
+            prev = self._times[np.maximum(cut - 1, 0)]
+            out = np.where(has_history, np.maximum(prev, floor), out)
+        return out
 
     def batch_degree(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
         """Batched :meth:`degree`: interactions strictly before each ``ts``."""

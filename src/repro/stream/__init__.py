@@ -1,0 +1,37 @@
+"""Streaming batch pipeline: plan → producers → trainer.
+
+Everything Algorithm 1 does before the gradient step — chronological
+slicing, negative drawing, §IV-A subgraph sampling, raw-message skeleton
+staging — is extracted behind a producer/consumer seam:
+
+* :class:`BatchPlan` deterministically enumerates ``(epoch, batch)``
+  work items; :func:`batch_rngs` derives each batch's generators from
+  ``(seed, epoch, batch_idx)``, so production is order-independent and
+  process-independent.
+* :class:`SerialProducer` runs production in-process;
+  :class:`MultiprocessProducer` fans it out over spawn workers that
+  memory-map the graph from shards (:mod:`repro.stream.shards`) instead
+  of pickling it.  Both yield bit-identical :class:`PreparedBatch`es.
+* Trainers (:class:`~repro.core.pretrainer.CPDGPreTrainer`, the
+  fine-tuning tasks) are pure consumers: they iterate prepared batches
+  and keep only encoder / memory / optimizer state.
+"""
+
+from .plan import (BatchPlan, BatchRngs, StreamError, WorkItem,
+                   batch_rngs, batch_seed_sequence)
+from .prepared import MessageSkeleton, PreparedBatch
+from .producer import (BatchProducer, MultiprocessProducer, ProducerSpec,
+                       SamplingContext, SerialProducer, make_producer,
+                       produce_batch)
+from .shards import (export_graph_shards, export_stream_shards,
+                     has_csr_shards, open_graph_shards, open_stream_shards)
+
+__all__ = [
+    "BatchPlan", "BatchRngs", "StreamError", "WorkItem",
+    "batch_rngs", "batch_seed_sequence",
+    "MessageSkeleton", "PreparedBatch",
+    "BatchProducer", "MultiprocessProducer", "ProducerSpec",
+    "SamplingContext", "SerialProducer", "make_producer", "produce_batch",
+    "export_graph_shards", "export_stream_shards", "has_csr_shards",
+    "open_graph_shards", "open_stream_shards",
+]

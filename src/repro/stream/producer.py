@@ -1,0 +1,422 @@
+"""Batch producers: turn plan work items into :class:`PreparedBatch`es.
+
+Everything Algorithm 1 does *before* touching a parameter — slicing the
+chronological event batch, drawing corrupted destinations, sampling the
+η-BFS / ε-DFS contrast subgraphs (paper §IV-A) and staging the raw-
+message skeleton — is a pure function of ``(graph, work item)`` once
+seeds derive from batch coordinates.  :func:`produce_batch` is that
+function; the two producers just decide where it runs:
+
+* :class:`SerialProducer` — in-process, zero overhead; the refactored
+  shape of the historical inline loop.
+* :class:`MultiprocessProducer` — N spawn workers pulling work items
+  from a queue with bounded prefetch.  Workers open the graph from
+  ``numpy.memmap``-backed shards (:mod:`repro.stream.shards`) — the CSR
+  and event arrays are paged in read-only, never pickled — and results
+  are reassembled in plan order on the consumer side.
+
+Because production is coordinate-seeded, both producers yield
+bit-identical batches; the trainer's loss history cannot tell them
+apart.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue as queue_module
+import shutil
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.contrast import draw_other_roots
+from ..core.samplers import (EpsilonDFSSampler, EtaBFSSampler,
+                             PrecomputedSampler)
+from ..graph.batching import RandomDestinationSampler, slice_event_batch
+from ..graph.events import EventStream
+from ..graph.neighbor_finder import NeighborFinder
+from .plan import BatchPlan, StreamError, WorkItem, batch_rngs
+from .prepared import MessageSkeleton, PreparedBatch
+from .shards import export_graph_shards, open_graph_shards
+
+__all__ = ["ProducerSpec", "SamplingContext", "produce_batch",
+           "BatchProducer", "SerialProducer", "MultiprocessProducer",
+           "make_producer"]
+
+_ERROR = "__producer_error__"
+
+
+@dataclass
+class ProducerSpec:
+    """Everything a producer needs to build its sampling context.
+
+    The spec is pickle-friendly by construction: for multiprocess use the
+    graph travels as a ``shard_dir`` path (workers memory-map it), never
+    as in-memory arrays.  ``stream`` is the in-process alternative used
+    by :class:`SerialProducer` and by the exporting side.
+    """
+
+    batch_size: int
+    seed: int = 0
+    epochs: int = 1
+    # Contrast sampling (paper §IV-A); both off → event slicing only.
+    sample_temporal: bool = False
+    sample_structural: bool = False
+    eta: int = 10
+    epsilon: int = 10
+    depth: int = 2
+    tau: float = 0.2
+    precompute_samplers: bool = False
+    sampler_cache_capacity: int | None = None
+    # Raw-message skeleton staging (delta_t needs the CSR).
+    compute_messages: bool = True
+    # Carried-over last-update clock (fine-tuning continues pre-training's).
+    base_last_update: np.ndarray | None = None
+    # Corrupted-destination candidate set; None → unique stream dst.
+    neg_candidates: np.ndarray | None = None
+    # Graph source: exactly one of the two.
+    stream: EventStream | None = field(default=None, repr=False)
+    shard_dir: str | None = None
+    mmap: bool = True
+
+    @property
+    def needs_finder(self) -> bool:
+        return (self.sample_temporal or self.sample_structural
+                or self.compute_messages)
+
+    def make_plan(self, num_events: int) -> BatchPlan:
+        return BatchPlan(num_events, self.batch_size, epochs=self.epochs,
+                         seed=self.seed)
+
+
+class SamplingContext:
+    """One producer's resolved graph + samplers (per process).
+
+    Built once per worker (or once, in-process, for the serial producer);
+    :func:`produce_batch` then only draws from per-batch generators, so
+    the context itself holds no mutable randomness.
+    """
+
+    def __init__(self, spec: ProducerSpec,
+                 stream: EventStream | None = None,
+                 finder: NeighborFinder | None = None):
+        self.spec = spec
+        if stream is None:
+            stream = spec.stream
+        if stream is None:
+            if spec.shard_dir is None:
+                raise ValueError("ProducerSpec needs a stream or a shard_dir")
+            stream, shard_finder = open_graph_shards(spec.shard_dir,
+                                                     mmap=spec.mmap)
+            if finder is None:
+                finder = shard_finder
+        self.stream = stream
+        if finder is None and spec.needs_finder:
+            finder = NeighborFinder(stream)
+        self.finder = finder
+        self.num_nodes = stream.num_nodes
+        # Per-batch generators are passed at each draw, so the sampler
+        # carries no RNG of its own.
+        self.neg_sampler = RandomDestinationSampler(
+            stream, candidates=spec.neg_candidates)
+
+        self.eta_pos = self.eta_neg = self.dfs = None
+        if spec.sample_temporal:
+            self.eta_pos = EtaBFSSampler(finder, spec.eta, spec.depth,
+                                         probability="chronological",
+                                         tau=spec.tau)
+            self.eta_neg = EtaBFSSampler(finder, spec.eta, spec.depth,
+                                         probability="reverse", tau=spec.tau)
+        if spec.sample_structural:
+            self.dfs = EpsilonDFSSampler(finder, spec.epsilon, spec.depth)
+            if spec.precompute_samplers:
+                self.dfs = PrecomputedSampler(
+                    self.dfs, capacity=spec.sampler_cache_capacity)
+
+
+def produce_batch(ctx: SamplingContext, item: WorkItem) -> PreparedBatch:
+    """Produce one batch — pure in ``(ctx graph, item)``.
+
+    All randomness comes from :func:`~repro.stream.plan.batch_rngs`, so
+    the result is independent of which process runs this and of every
+    other batch.
+    """
+    spec = ctx.spec
+    rngs = batch_rngs(spec.seed, item.epoch, item.batch_idx)
+    size = len(item)
+    neg_dst = ctx.neg_sampler.sample(size, rng=rngs.neg_dst)
+    batch = slice_event_batch(ctx.stream, item.start, item.stop, neg_dst)
+    prepared = PreparedBatch(seq=item.seq, epoch=item.epoch,
+                             batch_idx=item.batch_idx, batch=batch)
+
+    if spec.sample_temporal:
+        prepared.temporal_pos = ctx.eta_pos.sample_batch(
+            batch.src, batch.timestamps, rng=rngs.temporal_pos)
+        prepared.temporal_neg = ctx.eta_neg.sample_batch(
+            batch.src, batch.timestamps, rng=rngs.temporal_neg)
+    if spec.sample_structural:
+        if ctx.num_nodes < 2:
+            raise ValueError("structural contrast needs at least two nodes "
+                             "to draw a negative root")
+        others = draw_other_roots(np.asarray(batch.src, dtype=np.int64),
+                                  ctx.num_nodes, rngs.structural)
+        prepared.structural_pos = ctx.dfs.sample_batch(batch.src,
+                                                       batch.timestamps)
+        prepared.structural_neg = ctx.dfs.sample_batch(others,
+                                                       batch.timestamps)
+    if spec.compute_messages and size:
+        src = np.asarray(batch.src, dtype=np.int64)
+        dst = np.asarray(batch.dst, dtype=np.int64)
+        nodes = np.empty(2 * size, dtype=np.int64)
+        nodes[0::2] = src
+        nodes[1::2] = dst
+        times = np.repeat(np.asarray(batch.timestamps, dtype=np.float64), 2)
+        last = ctx.finder.batch_last_update(nodes, item.start,
+                                            base=spec.base_last_update)
+        prepared.messages = MessageSkeleton(
+            nodes=nodes, times=times, delta_t=times - last,
+            event_ids=np.repeat(np.asarray(batch.event_ids,
+                                           dtype=np.int64), 2))
+    return prepared
+
+
+# ----------------------------------------------------------------------
+# producers
+# ----------------------------------------------------------------------
+
+class BatchProducer:
+    """Iterable of :class:`PreparedBatch` in plan order, with teardown.
+
+    Context-manager protocol guarantees worker teardown even when the
+    *consumer* raises mid-iteration.
+    """
+
+    def __iter__(self):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers / temporary shards; idempotent."""
+
+    def __enter__(self) -> "BatchProducer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialProducer(BatchProducer):
+    """In-process producer — the refactored shape of the inline loop."""
+
+    def __init__(self, spec: ProducerSpec, plan: BatchPlan | None = None,
+                 stream: EventStream | None = None,
+                 finder: NeighborFinder | None = None):
+        self._ctx = SamplingContext(spec, stream=stream, finder=finder)
+        self.plan = plan if plan is not None \
+            else spec.make_plan(self._ctx.stream.num_events)
+
+    def __iter__(self):
+        for item in self.plan:
+            yield produce_batch(self._ctx, item)
+
+
+def _worker_main(spec: ProducerSpec, task_queue, result_queue) -> None:
+    """Worker loop: open shards, produce until the ``None`` sentinel."""
+    try:
+        ctx = SamplingContext(spec)
+    except BaseException:
+        result_queue.put((_ERROR, traceback.format_exc()))
+        return
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        try:
+            result_queue.put((item.seq, produce_batch(ctx, item).materialize()))
+        except BaseException:
+            result_queue.put((_ERROR, traceback.format_exc()))
+            return
+
+
+class MultiprocessProducer(BatchProducer):
+    """N spawn workers over shared memory-mapped graph shards.
+
+    ``prefetch_batches`` bounds how many work items may be in flight
+    (queued, in production, or awaiting reassembly) — backpressure that
+    keeps fast producers from racing arbitrarily far ahead of the
+    gradient step.  Results arrive out of order and are reassembled by
+    sequence number; the holdback buffer is bounded by the same prefetch
+    window.
+    """
+
+    def __init__(self, spec: ProducerSpec, plan: BatchPlan | None = None,
+                 num_workers: int = 2, prefetch_batches: int = 4,
+                 finder: NeighborFinder | None = None,
+                 timeout: float = 300.0):
+        # Safety first: __del__/close() must work however early __init__
+        # fails.
+        self._closed = False
+        self._workers: list = []
+        self._tmpdir: str | None = None
+        self._tasks = self._results = None
+
+        if num_workers < 1:
+            raise StreamError("MultiprocessProducer needs num_workers >= 1; "
+                              "use SerialProducer (num_workers=0) instead")
+        if prefetch_batches < 1:
+            raise StreamError("prefetch_batches must be >= 1")
+        try:
+            self._mp = mp.get_context("spawn")
+        except ValueError as exc:  # pragma: no cover - platform-specific
+            raise StreamError(
+                "multiprocess batch production needs the 'spawn' start "
+                "method, which this platform does not provide; run with "
+                "num_workers=0") from exc
+        if spec.stream is None and spec.shard_dir is None:
+            raise ValueError("ProducerSpec needs a stream or a shard_dir")
+
+        # Validate the plan/worker fit before any expensive shard export.
+        if plan is None:
+            num_events = (spec.stream.num_events if spec.stream is not None
+                          else _shard_num_events(spec.shard_dir))
+            plan = spec.make_plan(num_events)
+        self.plan = plan
+        if len(plan) < num_workers:
+            raise StreamError(
+                f"stream too small to shard: the plan has {len(plan)} "
+                f"batch(es) for {num_workers} workers; lower num_workers "
+                f"(or use num_workers=0)")
+
+        try:
+            if spec.shard_dir is None:
+                self._tmpdir = tempfile.mkdtemp(prefix="repro-shards-")
+                export_finder = finder
+                if spec.needs_finder and export_finder is None:
+                    export_finder = NeighborFinder(spec.stream)
+                export_graph_shards(spec.stream, self._tmpdir,
+                                    finder=export_finder)
+                spec = replace(spec, shard_dir=self._tmpdir)
+            # Workers must never receive in-memory graph arrays by pickle.
+            self.spec = replace(spec, stream=None)
+            self.num_workers = num_workers
+            self.prefetch_batches = max(prefetch_batches, num_workers)
+            self._timeout = timeout
+            self._tasks = self._mp.Queue()
+            self._results = self._mp.Queue()
+            self._workers = [
+                self._mp.Process(target=_worker_main,
+                                 args=(self.spec, self._tasks, self._results),
+                                 daemon=True, name=f"repro-producer-{i}")
+                for i in range(num_workers)]
+            for worker in self._workers:
+                worker.start()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        if self._closed:
+            raise StreamError("producer already closed")
+        total = len(self.plan)
+        next_to_send = 0
+        next_to_yield = 0
+        in_flight = 0
+        holdback: dict[int, PreparedBatch] = {}
+        while next_to_yield < total:
+            while in_flight < self.prefetch_batches and next_to_send < total:
+                self._tasks.put(self.plan.item(next_to_send))
+                next_to_send += 1
+                in_flight += 1
+            seq, payload = self._receive()
+            if seq == _ERROR:
+                self.close()
+                raise StreamError(f"batch producer worker failed:\n{payload}")
+            holdback[seq] = payload
+            # A result parked out of order still counts as in flight, so
+            # the prefetch window also bounds the holdback buffer (a
+            # stalled head batch cannot let the tail race ahead
+            # unboundedly).
+            while next_to_yield in holdback:
+                yield holdback.pop(next_to_yield)
+                next_to_yield += 1
+                in_flight -= 1
+
+    def _receive(self):
+        deadline = time.monotonic() + self._timeout
+        while True:
+            try:
+                return self._results.get(timeout=1.0)
+            except queue_module.Empty:
+                # During iteration no worker should have exited: a dead
+                # worker may have taken unfinished work items with it, so
+                # fail fast instead of waiting out the full timeout.
+                dead = [w for w in self._workers if not w.is_alive()]
+                if dead:
+                    names = ", ".join(f"{w.name} (exit code {w.exitcode})"
+                                      for w in dead)
+                    self.close()
+                    raise StreamError(
+                        f"batch producer worker(s) died: {names}")
+                if time.monotonic() >= deadline:
+                    self.close()
+                    raise StreamError(
+                        "batch producer stalled: no result within "
+                        f"{self._timeout:.0f}s")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for _ in self._workers:
+                try:
+                    self._tasks.put_nowait(None)
+                except Exception:
+                    break
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+            for worker in self._workers:
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+        finally:
+            for q in (self._tasks, self._results):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+            if self._tmpdir is not None:
+                shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def __del__(self):  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _shard_num_events(shard_dir: str) -> int:
+    with open(os.path.join(shard_dir, "stream_meta.json")) as fh:
+        return int(json.load(fh)["num_events"])
+
+
+def make_producer(spec: ProducerSpec, plan: BatchPlan | None = None,
+                  num_workers: int = 0, prefetch_batches: int = 4,
+                  stream: EventStream | None = None,
+                  finder: NeighborFinder | None = None) -> BatchProducer:
+    """Build the producer a config asks for.
+
+    ``num_workers=0`` → :class:`SerialProducer` (in-process);
+    ``num_workers>=1`` → :class:`MultiprocessProducer` with that many
+    spawn workers.
+    """
+    if num_workers == 0:
+        return SerialProducer(spec, plan, stream=stream, finder=finder)
+    return MultiprocessProducer(spec, plan, num_workers=num_workers,
+                                prefetch_batches=prefetch_batches,
+                                finder=finder)

@@ -21,10 +21,12 @@ from ..core.config import CPDGConfig
 from ..core.eie import EIEModule
 from ..core.pretrainer import PretrainResult
 from ..dgnn.encoder import DGNNEncoder, make_encoder
+from ..graph.events import EventStream
 from ..nn.autograd import default_dtype
+from ..stream import BatchProducer, ProducerSpec, make_producer
 
 __all__ = ["FineTuneConfig", "FineTuneStrategy", "build_finetuned_encoder",
-           "in_strategy_dtype", "STRATEGIES"]
+           "training_producer", "in_strategy_dtype", "STRATEGIES"]
 
 STRATEGIES = ("none", "full", "eie-mean", "eie-attn", "eie-gru")
 
@@ -40,6 +42,10 @@ class FineTuneConfig:
     patience: int = 3
     eie_out_dim: int = 16
     seed: int = 0
+    # Streaming batch pipeline (repro.stream): 0 = in-process production,
+    # N >= 1 = spawn workers; prefetch bounds in-flight batches.
+    num_workers: int = 0
+    prefetch_batches: int = 4
 
 
 @dataclass
@@ -77,6 +83,26 @@ def in_strategy_dtype(method):
         with default_dtype(self.strategy.dtype):
             return method(self, *args, **kwargs)
     return wrapper
+
+
+def training_producer(stream: EventStream, config: FineTuneConfig,
+                      neg_candidates=None) -> BatchProducer:
+    """Batch producer for a downstream fine-tuning loop.
+
+    Downstream training needs no contrast subgraphs — just the
+    chronological event slices with per-``(epoch, batch)``-seeded
+    corrupted destinations — so the spec disables sampling and message
+    pre-staging and the fine-tuning trainers stay pure consumers.
+    ``neg_candidates`` pins the corrupted-destination pool (the tasks use
+    the *full* downstream stream's destinations, not just the training
+    segment's).
+    """
+    spec = ProducerSpec(
+        batch_size=config.batch_size, seed=config.seed, epochs=config.epochs,
+        sample_temporal=False, sample_structural=False,
+        compute_messages=False, neg_candidates=neg_candidates, stream=stream)
+    return make_producer(spec, num_workers=config.num_workers,
+                         prefetch_batches=config.prefetch_batches)
 
 
 def build_finetuned_encoder(backbone: str, num_nodes: int,

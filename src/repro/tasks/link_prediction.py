@@ -27,7 +27,8 @@ from ..nn.autograd import Tensor, default_dtype, no_grad
 from ..nn.optim import Adam, clip_grad_norm
 from ..datasets.splits import DownstreamSplit
 from .early_stopping import EarlyStopper
-from .finetune import FineTuneConfig, FineTuneStrategy, in_strategy_dtype
+from .finetune import (FineTuneConfig, FineTuneStrategy, in_strategy_dtype,
+                       training_producer)
 from .metrics import average_precision_score, roc_auc_score
 
 __all__ = ["LinkPredictionMetrics", "LinkPredictionTask"]
@@ -102,7 +103,13 @@ class LinkPredictionTask:
     # ------------------------------------------------------------------
     @in_strategy_dtype
     def train(self, verbose: bool = False) -> list[dict]:
-        """Fine-tune with early stopping; returns per-epoch history."""
+        """Fine-tune with early stopping; returns per-epoch history.
+
+        The loop is a pure consumer of :class:`~repro.stream.PreparedBatch`
+        (chronological slices with per-batch-seeded negatives, produced
+        in-process or on ``config.num_workers`` worker processes); only
+        encoder / head / optimizer state lives here.
+        """
         cfg = self.config
         encoder = self.strategy.encoder
         params = self._trainable_params()
@@ -111,12 +118,18 @@ class LinkPredictionTask:
         best_states = self._state_dicts()
         history: list[dict] = []
 
-        for epoch in range(cfg.epochs):
-            self._restore_memory()
-            epoch_loss = 0.0
-            n_batches = 0
-            for batch in chronological_batches(self.split.train, cfg.batch_size,
-                                               self._rng, self._neg_sampler):
+        producer = training_producer(self.split.train, cfg,
+                                     neg_candidates=self._neg_sampler.candidates)
+        last_batch = producer.plan.batches_per_epoch - 1
+        epoch_loss = 0.0
+        n_batches = 0
+        with producer:
+            for prepared in producer:
+                if prepared.batch_idx == 0:
+                    self._restore_memory()
+                    epoch_loss = 0.0
+                    n_batches = 0
+                batch = prepared.batch
                 z_src = self._embed(batch.src, batch.timestamps)
                 z_dst = self._embed(batch.dst, batch.timestamps)
                 z_neg = self._embed(batch.neg_dst, batch.timestamps)
@@ -129,18 +142,23 @@ class LinkPredictionTask:
                 encoder.end_batch()
                 epoch_loss += loss.item()
                 n_batches += 1
+                if prepared.batch_idx != last_batch:
+                    continue
 
-            val_metrics = self._score_stream(self.split.val)
-            history.append({"epoch": epoch, "loss": epoch_loss / max(n_batches, 1),
-                            "val_auc": val_metrics.auc, "val_ap": val_metrics.ap})
-            if verbose:
-                print(f"[lp] epoch {epoch}: loss={history[-1]['loss']:.4f} "
-                      f"val_auc={val_metrics.auc:.4f}")
-            stop = stopper.update(val_metrics.auc)
-            if stopper.best_round == epoch:
-                best_states = self._state_dicts()
-            if stop:
-                break
+                epoch = prepared.epoch
+                val_metrics = self._score_stream(self.split.val)
+                history.append({"epoch": epoch,
+                                "loss": epoch_loss / max(n_batches, 1),
+                                "val_auc": val_metrics.auc,
+                                "val_ap": val_metrics.ap})
+                if verbose:
+                    print(f"[lp] epoch {epoch}: loss={history[-1]['loss']:.4f} "
+                          f"val_auc={val_metrics.auc:.4f}")
+                stop = stopper.update(val_metrics.auc)
+                if stopper.best_round == epoch:
+                    best_states = self._state_dicts()
+                if stop:
+                    break
 
         self._load_state_dicts(best_states)
         return history

@@ -21,7 +21,8 @@ from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam, clip_grad_norm
 from ..datasets.splits import DownstreamSplit
 from .early_stopping import EarlyStopper
-from .finetune import FineTuneConfig, FineTuneStrategy, in_strategy_dtype
+from .finetune import (FineTuneConfig, FineTuneStrategy, in_strategy_dtype,
+                       training_producer)
 from .metrics import roc_auc_score
 
 __all__ = ["NodeClassificationMetrics", "NodeClassificationTask"]
@@ -87,6 +88,9 @@ class NodeClassificationTask:
     # ------------------------------------------------------------------
     @in_strategy_dtype
     def train(self, verbose: bool = False) -> list[dict]:
+        """Fine-tune with early stopping — a pure consumer of
+        :class:`~repro.stream.PreparedBatch`es (see
+        :func:`~repro.tasks.finetune.training_producer`)."""
         cfg = self.config
         encoder = self.strategy.encoder
         params = self._trainable_params()
@@ -95,12 +99,17 @@ class NodeClassificationTask:
         best_states = [m.state_dict() for m in self._all_modules()]
         history: list[dict] = []
 
-        for epoch in range(cfg.epochs):
-            self._restore_memory()
-            epoch_loss = 0.0
-            n_batches = 0
-            for batch in chronological_batches(self.split.train, cfg.batch_size,
-                                               self._rng):
+        producer = training_producer(self.split.train, cfg)
+        last_batch = producer.plan.batches_per_epoch - 1
+        epoch_loss = 0.0
+        n_batches = 0
+        with producer:
+            for prepared in producer:
+                if prepared.batch_idx == 0:
+                    self._restore_memory()
+                    epoch_loss = 0.0
+                    n_batches = 0
+                batch = prepared.batch
                 z_src = self._embed(batch.src, batch.timestamps)
                 logits = self.head(z_src).reshape(-1)
                 loss = bce_with_logits(logits, batch.labels)
@@ -112,19 +121,24 @@ class NodeClassificationTask:
                 encoder.end_batch()
                 epoch_loss += loss.item()
                 n_batches += 1
+                if prepared.batch_idx != last_batch:
+                    continue
 
-            val = self._score_stream(self.split.val, warmups=[self.split.train])
-            history.append({"epoch": epoch, "loss": epoch_loss / max(n_batches, 1),
-                            "val_auc": val.auc})
-            if verbose:
-                print(f"[nc] epoch {epoch}: loss={history[-1]['loss']:.4f} "
-                      f"val_auc={val.auc:.4f}")
-            value = val.auc if np.isfinite(val.auc) else 0.5
-            stop = stopper.update(value)
-            if stopper.best_round == epoch:
-                best_states = [m.state_dict() for m in self._all_modules()]
-            if stop:
-                break
+                epoch = prepared.epoch
+                val = self._score_stream(self.split.val,
+                                         warmups=[self.split.train])
+                history.append({"epoch": epoch,
+                                "loss": epoch_loss / max(n_batches, 1),
+                                "val_auc": val.auc})
+                if verbose:
+                    print(f"[nc] epoch {epoch}: loss={history[-1]['loss']:.4f} "
+                          f"val_auc={val.auc:.4f}")
+                value = val.auc if np.isfinite(val.auc) else 0.5
+                stop = stopper.update(value)
+                if stopper.best_round == epoch:
+                    best_states = [m.state_dict() for m in self._all_modules()]
+                if stop:
+                    break
 
         for module, state in zip(self._all_modules(), best_states):
             module.load_state_dict(state)

@@ -1,0 +1,417 @@
+"""Streaming batch pipeline: plans, seeding, shards, producers, consumers.
+
+The contract under test is the one the trainer relies on: batch
+production is a pure function of ``(graph, work item)``, so serial,
+shuffled and multiprocess producers are bit-identical; memory-mapped CSR
+shards answer every batch query exactly like the in-memory adjacency;
+and producers tear down cleanly when the consumer dies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.experiments.common import PretrainCache
+from repro.graph.events import EventStream
+from repro.graph.neighbor_finder import NeighborFinder
+from repro.stream import (BatchPlan, MultiprocessProducer, ProducerSpec,
+                          SamplingContext, SerialProducer, StreamError,
+                          batch_rngs, export_graph_shards, make_producer,
+                          open_graph_shards, produce_batch)
+
+
+def make_stream(num_events: int = 240, num_nodes: int = 40,
+                seed: int = 3) -> EventStream:
+    rng = np.random.default_rng(seed)
+    half = num_nodes // 2
+    return EventStream(
+        src=rng.integers(0, half, num_events),
+        dst=rng.integers(half, num_nodes, num_events),
+        timestamps=np.sort(rng.uniform(0.0, 100.0, num_events)),
+        num_nodes=num_nodes,
+        name="stream-test",
+    )
+
+
+def small_config(**kwargs) -> CPDGConfig:
+    defaults = dict(eta=3, epsilon=3, depth=2, epochs=2, batch_size=48,
+                    memory_dim=8, embed_dim=8, time_dim=4, n_neighbors=3,
+                    num_checkpoints=3, dtype="float64", seed=0)
+    defaults.update(kwargs)
+    return CPDGConfig(**defaults)
+
+
+def spec_for(stream: EventStream, cfg: CPDGConfig) -> ProducerSpec:
+    return ProducerSpec(
+        batch_size=cfg.batch_size, seed=cfg.seed, epochs=cfg.epochs,
+        sample_temporal=True, sample_structural=True,
+        eta=cfg.eta, epsilon=cfg.epsilon, depth=cfg.depth, tau=cfg.tau,
+        stream=stream)
+
+
+def assert_prepared_equal(a, b) -> None:
+    assert (a.seq, a.epoch, a.batch_idx) == (b.seq, b.epoch, b.batch_idx)
+    for name in ("src", "dst", "timestamps", "neg_dst", "event_ids"):
+        np.testing.assert_array_equal(getattr(a.batch, name),
+                                      getattr(b.batch, name), err_msg=name)
+    for name in ("temporal_pos", "temporal_neg",
+                 "structural_pos", "structural_neg"):
+        sa, sb = getattr(a, name), getattr(b, name)
+        assert (sa is None) == (sb is None), name
+        if sa is not None:
+            np.testing.assert_array_equal(sa.nodes, sb.nodes, err_msg=name)
+            np.testing.assert_array_equal(sa.indptr, sb.indptr, err_msg=name)
+    assert (a.messages is None) == (b.messages is None)
+    if a.messages is not None:
+        for name in ("nodes", "times", "delta_t", "event_ids"):
+            np.testing.assert_array_equal(getattr(a.messages, name),
+                                          getattr(b.messages, name),
+                                          err_msg=f"messages.{name}")
+
+
+# ----------------------------------------------------------------------
+# plan + seeding
+# ----------------------------------------------------------------------
+
+class TestBatchPlan:
+    def test_enumerates_every_epoch_and_slice(self):
+        plan = BatchPlan(num_events=103, batch_size=25, epochs=2, seed=0)
+        items = list(plan)
+        assert len(items) == len(plan) == 2 * 5
+        assert [i.seq for i in items] == list(range(10))
+        per_epoch = [i for i in items if i.epoch == 1]
+        assert [(-(-103 // 25))] == [plan.batches_per_epoch]
+        assert per_epoch[0].start == 0 and per_epoch[-1].stop == 103
+        # Slices tile the stream exactly.
+        covered = np.concatenate([np.arange(i.start, i.stop)
+                                  for i in items if i.epoch == 0])
+        np.testing.assert_array_equal(covered, np.arange(103))
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPlan(10, 0)
+        with pytest.raises(ValueError):
+            BatchPlan(10, 5, epochs=0)
+        with pytest.raises(IndexError):
+            BatchPlan(10, 5).item(2)
+
+
+class TestBatchSeeding:
+    def test_same_coordinates_same_draws(self):
+        a = batch_rngs(7, 1, 3)
+        b = batch_rngs(7, 1, 3)
+        for name in ("neg_dst", "temporal_pos", "temporal_neg", "structural"):
+            np.testing.assert_array_equal(
+                getattr(a, name).integers(0, 1000, 8),
+                getattr(b, name).integers(0, 1000, 8), err_msg=name)
+
+    def test_distinct_coordinates_distinct_streams(self):
+        draws = {tuple(batch_rngs(seed, epoch, idx).neg_dst.integers(0, 1 << 30, 4))
+                 for seed in (0, 1) for epoch in (0, 1) for idx in (0, 1, 2)}
+        assert len(draws) == 12
+
+    def test_children_are_independent(self):
+        rngs = batch_rngs(0, 0, 0)
+        assert not np.array_equal(rngs.neg_dst.integers(0, 1 << 30, 8),
+                                  rngs.structural.integers(0, 1 << 30, 8))
+
+
+# ----------------------------------------------------------------------
+# memory-mapped CSR shards
+# ----------------------------------------------------------------------
+
+class TestMmapShards:
+    def test_batch_queries_match_in_memory(self, tmp_path):
+        stream = make_stream()
+        finder = NeighborFinder(stream)
+        finder.export(str(tmp_path))
+        mapped = NeighborFinder.open(str(tmp_path), mmap=True)
+        assert isinstance(mapped.times, np.memmap)
+
+        nodes = np.arange(stream.num_nodes, dtype=np.int64)
+        ts = np.linspace(0.0, 110.0, stream.num_nodes)
+        for name in ("indptr", "neighbors", "times", "event_ids"):
+            np.testing.assert_array_equal(getattr(finder, name),
+                                          getattr(mapped, name), err_msg=name)
+        np.testing.assert_array_equal(finder.batch_degree(nodes, ts),
+                                      mapped.batch_degree(nodes, ts))
+        for a, b in zip(finder.batch_before(nodes, ts),
+                        mapped.batch_before(nodes, ts)):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(finder.batch_most_recent(nodes, ts, 4),
+                        mapped.batch_most_recent(nodes, ts, 4)):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(
+                finder.batch_sample_uniform(nodes, ts, 3,
+                                            np.random.default_rng(0)),
+                mapped.batch_sample_uniform(nodes, ts, 3,
+                                            np.random.default_rng(0))):
+            np.testing.assert_array_equal(a, b)
+        # Per-node queries agree too.
+        for node in (0, 7, stream.num_nodes - 1):
+            for a, b in zip(finder.before(node, 55.0),
+                            mapped.before(node, 55.0)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_graph_shards_round_trip_stream(self, tmp_path):
+        stream = make_stream()
+        finder = NeighborFinder(stream)
+        export_graph_shards(stream, str(tmp_path), finder=finder)
+        reopened, mapped = open_graph_shards(str(tmp_path), mmap=True)
+        assert mapped is not None
+        assert reopened.num_nodes == stream.num_nodes
+        np.testing.assert_array_equal(reopened.src, stream.src)
+        np.testing.assert_array_equal(reopened.dst, stream.dst)
+        np.testing.assert_array_equal(reopened.timestamps, stream.timestamps)
+
+    def test_open_without_shards_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            NeighborFinder.open(str(tmp_path / "nope"))
+
+
+class TestBatchLastUpdate:
+    def test_matches_live_touch_trace(self):
+        """CSR-derived last-update equals the clock a chronological
+        trainer's ``Memory.touch`` maintains, at every batch boundary."""
+        stream = make_stream()
+        finder = NeighborFinder(stream)
+        batch_size = 32
+        live = np.zeros(stream.num_nodes)
+        probe = np.arange(stream.num_nodes, dtype=np.int64)
+        for start in range(0, stream.num_events, batch_size):
+            stop = min(start + batch_size, stream.num_events)
+            derived = finder.batch_last_update(probe, start)
+            np.testing.assert_array_equal(derived, live)
+            touched = np.concatenate([stream.src[start:stop],
+                                      stream.dst[start:stop]])
+            np.maximum.at(live, touched,
+                          np.tile(stream.timestamps[start:stop], 2))
+
+    def test_base_clock_carries_over(self):
+        stream = make_stream()
+        finder = NeighborFinder(stream)
+        base = np.full(stream.num_nodes, 1e6)
+        probe = np.arange(stream.num_nodes, dtype=np.int64)
+        out = finder.batch_last_update(probe, stream.num_events, base=base)
+        np.testing.assert_array_equal(out, base)  # base dominates all times
+
+
+# ----------------------------------------------------------------------
+# producers
+# ----------------------------------------------------------------------
+
+class TestProduceBatch:
+    def test_production_is_order_independent(self):
+        stream = make_stream()
+        cfg = small_config()
+        spec = spec_for(stream, cfg)
+        plan = spec.make_plan(stream.num_events)
+        items = list(plan)
+
+        ctx_a = SamplingContext(spec)
+        in_order = {i.seq: produce_batch(ctx_a, i) for i in items}
+        ctx_b = SamplingContext(spec)
+        shuffled = {}
+        for i in np.random.default_rng(0).permutation(len(items)):
+            item = items[int(i)]
+            shuffled[item.seq] = produce_batch(ctx_b, item)
+        for seq in in_order:
+            assert_prepared_equal(in_order[seq], shuffled[seq])
+
+    def test_serial_and_multiprocess_produce_identically(self):
+        stream = make_stream()
+        cfg = small_config()
+        spec = spec_for(stream, cfg)
+        serial = list(SerialProducer(spec))
+        with MultiprocessProducer(spec_for(stream, cfg),
+                                  num_workers=2) as producer:
+            parallel = list(producer)
+        assert len(serial) == len(parallel) == len(spec.make_plan(
+            stream.num_events))
+        for a, b in zip(serial, parallel):
+            assert_prepared_equal(a, b)
+
+
+class TestMultiprocessLifecycle:
+    def test_teardown_on_consumer_error_leaves_no_workers(self):
+        stream = make_stream()
+        producer = MultiprocessProducer(spec_for(stream, small_config()),
+                                        num_workers=2)
+        workers = list(producer._workers)
+        shard_dir = producer.spec.shard_dir
+        import os
+        with pytest.raises(RuntimeError, match="consumer died"):
+            with producer:
+                for n, _ in enumerate(producer):
+                    if n == 1:
+                        raise RuntimeError("consumer died")
+        assert all(not w.is_alive() for w in workers)
+        assert not os.path.exists(shard_dir)  # temp shards cleaned up
+
+    def test_close_is_idempotent(self):
+        stream = make_stream()
+        producer = MultiprocessProducer(spec_for(stream, small_config()),
+                                        num_workers=2)
+        producer.close()
+        producer.close()
+        with pytest.raises(StreamError):
+            list(producer)
+
+    def test_worker_error_propagates_as_stream_error(self):
+        stream = make_stream()
+        spec = spec_for(stream, small_config())
+        # A plan pointing past the stream makes every worker fail fast.
+        bad_plan = BatchPlan(stream.num_events * 10, 48, epochs=1, seed=0)
+        producer = MultiprocessProducer(spec, plan=bad_plan, num_workers=2)
+        workers = list(producer._workers)
+        with pytest.raises(StreamError, match="worker failed"):
+            with producer:
+                list(producer)
+        assert all(not w.is_alive() for w in workers)
+
+    def test_stream_too_small_to_shard(self):
+        stream = make_stream(num_events=30)
+        spec = spec_for(stream, small_config(epochs=1, batch_size=30))
+        with pytest.raises(StreamError, match="too small"):
+            MultiprocessProducer(spec, num_workers=4)
+
+    def test_make_producer_dispatch(self):
+        stream = make_stream()
+        spec = spec_for(stream, small_config())
+        assert isinstance(make_producer(spec, num_workers=0), SerialProducer)
+        producer = make_producer(spec, num_workers=1)
+        try:
+            assert isinstance(producer, MultiprocessProducer)
+        finally:
+            producer.close()
+
+
+# ----------------------------------------------------------------------
+# trainer equivalence (the acceptance bar)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backbone", ["tgn", "jodie", "dyrep"])
+class TestPretrainEquivalence:
+    def pretrain(self, backbone: str, stream: EventStream, **overrides):
+        cfg = small_config(**overrides)
+        trainer = CPDGPreTrainer.from_backbone(backbone, stream.num_nodes, cfg)
+        return trainer.pretrain(stream)
+
+    def test_workers_bit_identical(self, backbone):
+        stream = make_stream()
+        serial = self.pretrain(backbone, stream, num_workers=0)
+        parallel = self.pretrain(backbone, stream, num_workers=2)
+        np.testing.assert_array_equal(np.asarray(serial.loss_history),
+                                      np.asarray(parallel.loss_history))
+        np.testing.assert_array_equal(serial.memory_state,
+                                      parallel.memory_state)
+        np.testing.assert_array_equal(serial.last_update,
+                                      parallel.last_update)
+        for key in serial.encoder_state:
+            np.testing.assert_array_equal(serial.encoder_state[key],
+                                          parallel.encoder_state[key],
+                                          err_msg=key)
+
+    def test_mmap_graph_bit_identical(self, backbone):
+        stream = make_stream()
+        in_memory = self.pretrain(backbone, stream, mmap_graph=False)
+        mapped = self.pretrain(backbone, stream, mmap_graph=True)
+        np.testing.assert_array_equal(np.asarray(in_memory.loss_history),
+                                      np.asarray(mapped.loss_history))
+        np.testing.assert_array_equal(in_memory.memory_state,
+                                      mapped.memory_state)
+
+
+class TestPretrainSeedingProperties:
+    def test_resume_style_order_independence(self):
+        """Epoch-2 draws do not depend on epoch-1 having been sampled —
+        the resume-from-checkpoint divergence fix."""
+        stream = make_stream()
+        cfg = small_config()
+        spec = spec_for(stream, cfg)
+        ctx = SamplingContext(spec)
+        plan = spec.make_plan(stream.num_events)
+        later = [i for i in plan if i.epoch == 1]
+        fresh = {i.seq: produce_batch(SamplingContext(spec), i) for i in later}
+        full = {i.seq: produce_batch(ctx, i) for i in plan}
+        for seq, prepared in fresh.items():
+            assert_prepared_equal(prepared, full[seq])
+
+    def test_config_validates_stream_knobs(self):
+        with pytest.raises(ValueError):
+            small_config(num_workers=-1).validate()
+        with pytest.raises(ValueError):
+            small_config(prefetch_batches=0).validate()
+
+
+# ----------------------------------------------------------------------
+# downstream consumers
+# ----------------------------------------------------------------------
+
+class TestFinetuneConsumers:
+    def test_link_prediction_workers_match_serial(self, tiny_stream):
+        from repro.datasets.splits import split_downstream
+        from repro.tasks.finetune import (FineTuneConfig,
+                                          build_finetuned_encoder)
+        from repro.tasks.link_prediction import LinkPredictionTask
+
+        split = split_downstream(tiny_stream, fractions=(0.6, 0.2, 0.2))
+        histories = {}
+        for workers in (0, 2):
+            cfg = FineTuneConfig(epochs=2, batch_size=40, seed=0,
+                                 num_workers=workers)
+            strategy = build_finetuned_encoder(
+                "tgn", tiny_stream.num_nodes,
+                small_config(), None, "none", cfg)
+            task = LinkPredictionTask(strategy, split, cfg)
+            histories[workers] = task.train()
+        assert histories[0] == histories[2]
+
+
+# ----------------------------------------------------------------------
+# on-disk artifact cache
+# ----------------------------------------------------------------------
+
+class TestArtifactCache:
+    def _artifact(self, stream):
+        from repro.api import Pipeline, RunConfig
+        config = RunConfig(backbone="tgn", strategy="full",
+                           pretrain=small_config(epochs=1))
+        return Pipeline(config).pretrain(stream).artifact
+
+    def test_artifacts_survive_process_restart(self, tmp_path):
+        stream = make_stream(num_events=120)
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return self._artifact(stream)
+
+        key = ("cpdg", "tgn", "fingerprint", 0)
+        first = PretrainCache(cache_dir=str(tmp_path))
+        a1 = first.get_artifact(key, compute)
+        a2 = first.get_artifact(key, compute)
+        assert calls["n"] == 1 and a1 is a2
+
+        # A fresh cache (≈ a new process) hits the file, not compute().
+        second = PretrainCache(cache_dir=str(tmp_path))
+        a3 = second.get_artifact(key, compute)
+        assert calls["n"] == 1
+        np.testing.assert_array_equal(a1.result.memory_state,
+                                      a3.result.memory_state)
+
+    def test_memory_only_without_cache_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PRETRAIN_CACHE", raising=False)
+        cache = PretrainCache()
+        assert cache.cache_dir is None
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return object()
+
+        cache.get_artifact(("k",), compute)
+        cache.get_artifact(("k",), compute)
+        assert calls["n"] == 1
