@@ -1,0 +1,188 @@
+"""Serving-layer throughput/latency benchmark (``BENCH_serve.json``).
+
+Builds an :class:`~repro.serve.EmbeddingService` from a freshly
+pre-trained artifact at two scales — MEDIUM and the LARGE 400k-node
+scale ``BENCH_pretrain.json`` uses — and measures the serving hot paths:
+
+* **query throughput** — batched ``embed`` requests over random query
+  nodes; cold pass (every key unseen) and warm pass (same keys again,
+  exercising the node-keyed LRU), with per-request p50/p99 latency;
+* **score throughput** — ``score_links`` pairs/sec;
+* **ingest throughput** — live events/sec through
+  ``DynamicNeighborFinder`` append + sparse-delta memory advancement,
+  including periodic CSR compaction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_serve_bench.py [--out PATH] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import PretrainArtifact, RunConfig, stream_fingerprint
+from repro.core import CPDGConfig, CPDGPreTrainer
+from repro.graph.events import EventStream
+from repro.serve import EmbeddingService
+
+SCALES = {
+    "medium": dict(num_nodes=2_000, base_events=1_000, ingest_events=2_000,
+                   memory_dim=32, embed_dim=32, requests=60,
+                   request_size=64, ingest_block=200),
+    "large": dict(num_nodes=400_000, base_events=600, ingest_events=2_000,
+                  memory_dim=64, embed_dim=64, requests=40,
+                  request_size=64, ingest_block=200),
+}
+
+SMOKE_SCALES = {
+    "medium": dict(num_nodes=200, base_events=120, ingest_events=120,
+                   memory_dim=8, embed_dim=8, requests=6,
+                   request_size=16, ingest_block=40),
+    "large": dict(num_nodes=5_000, base_events=120, ingest_events=120,
+                  memory_dim=8, embed_dim=8, requests=6,
+                  request_size=16, ingest_block=40),
+}
+
+
+def synthetic_stream(num_nodes: int, events: int, t_lo: float, t_hi: float,
+                     seed: int) -> EventStream:
+    rng = np.random.default_rng(seed)
+    return EventStream(
+        src=rng.integers(0, num_nodes // 2, events),
+        dst=rng.integers(num_nodes // 2, num_nodes, events),
+        timestamps=np.sort(rng.uniform(t_lo, t_hi, events)),
+        num_nodes=num_nodes, name=f"serve-bench-{num_nodes}n")
+
+
+def build_service(params: dict) -> tuple[EmbeddingService, EventStream]:
+    config = RunConfig(pretrain=CPDGConfig(
+        epochs=1, batch_size=100, memory_dim=params["memory_dim"],
+        embed_dim=params["embed_dim"], edge_dim=0, num_checkpoints=2,
+        precompute_samplers=False, seed=0))
+    base = synthetic_stream(params["num_nodes"], params["base_events"],
+                            0.0, 1000.0, seed=0)
+    trainer = CPDGPreTrainer.from_backbone("tgn", base.num_nodes,
+                                           config.pretrain, delta_scale=1.0)
+    result = trainer.pretrain(base)
+    artifact = PretrainArtifact(
+        result=result, run_config=config, num_nodes=base.num_nodes,
+        delta_scale=1.0, dataset_fingerprint=stream_fingerprint(base),
+        dataset_name=base.name)
+    live = synthetic_stream(params["num_nodes"], params["ingest_events"],
+                            1000.0, 2000.0, seed=1)
+    service = EmbeddingService.from_artifact(
+        artifact, history=base,
+        compaction_threshold=max(params["ingest_block"] * 4, 64))
+    return service, live
+
+
+def timed_requests(service: EmbeddingService, queries: list) -> dict:
+    latencies = []
+    start = time.perf_counter()
+    for nodes, ts in queries:
+        t0 = time.perf_counter()
+        service.embed(nodes, ts)
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    total = sum(len(nodes) for nodes, _ in queries)
+    latencies_ms = np.asarray(latencies) * 1e3
+    return {
+        "queries_per_sec": round(total / elapsed, 2),
+        "requests_per_sec": round(len(queries) / elapsed, 2),
+        "p50_ms": round(float(np.percentile(latencies_ms, 50)), 3),
+        "p99_ms": round(float(np.percentile(latencies_ms, 99)), 3),
+    }
+
+
+def bench_scale(params: dict) -> dict:
+    service, live = build_service(params)
+    rng = np.random.default_rng(7)
+    t_query = 1000.0
+
+    # Cold pass: unique (node, ts) keys — every row computed.
+    cold_queries = [
+        (rng.integers(0, params["num_nodes"], params["request_size"]),
+         np.full(params["request_size"], t_query + i * 1e-3))
+        for i in range(params["requests"])
+    ]
+    cold = timed_requests(service, cold_queries)
+    # Warm pass: identical keys — the LRU short-circuits the encoder.
+    warm = timed_requests(service, cold_queries)
+    planner_stats = service.planner.stats
+
+    # Link scoring (pairs/sec) on top of a warm cache.
+    pairs = params["request_size"]
+    t0 = time.perf_counter()
+    for i in range(max(params["requests"] // 2, 1)):
+        service.score_links(rng.integers(0, params["num_nodes"], pairs),
+                            rng.integers(0, params["num_nodes"], pairs),
+                            t_query + i * 1e-3)
+    score_elapsed = time.perf_counter() - t0
+    score_rate = (max(params["requests"] // 2, 1) * pairs) / score_elapsed
+
+    # Live ingestion: blocks through append + flush + staging.
+    block = params["ingest_block"]
+    t0 = time.perf_counter()
+    service.ingest(live, block_size=block)
+    ingest_elapsed = time.perf_counter() - t0
+    ingest_stats = service._ingestor.stats
+    block_ms = np.asarray(ingest_stats.block_seconds) * 1e3
+
+    return {
+        **{key: params[key] for key in ("num_nodes", "base_events",
+                                        "ingest_events", "memory_dim",
+                                        "request_size")},
+        "embed_cold": cold,
+        "embed_warm": warm,
+        "cache_hit_rate": round(planner_stats.cache_hit_rate, 4),
+        "score_pairs_per_sec": round(score_rate, 2),
+        "ingest": {
+            "events_per_sec": round(live.num_events / ingest_elapsed, 2),
+            "block_events": block,
+            "p50_ms": round(float(np.percentile(block_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(block_ms, 99)), 3),
+            "compactions": int(service.finder.compactions),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_serve.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scales: correctness-only fast path for "
+                             "CI (no timing claims)")
+    args = parser.parse_args()
+
+    scales = SMOKE_SCALES if args.smoke else SCALES
+    cases = {name: bench_scale(params) for name, params in scales.items()}
+    payload = {
+        "metric": "serving throughput/latency over a pre-trained artifact "
+                  "(embed queries/sec cold and warm, score pairs/sec, live "
+                  "ingest events/sec with per-block p50/p99)",
+        "backbone": "tgn",
+        "dtype": "float32",
+        "smoke": bool(args.smoke),
+        "cases": cases,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, row in cases.items():
+        print(f"{name:8s} nodes={row['num_nodes']:>7d} "
+              f"embed {row['embed_cold']['queries_per_sec']:>9.1f} q/s cold "
+              f"/ {row['embed_warm']['queries_per_sec']:>10.1f} q/s warm "
+              f"(hit {row['cache_hit_rate']:.2f})  "
+              f"ingest {row['ingest']['events_per_sec']:>9.1f} ev/s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

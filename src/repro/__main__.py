@@ -6,6 +6,7 @@ The pipeline subcommands are thin layers over :mod:`repro.api`::
     python -m repro pretrain --config run.json --out artifact.npz
     python -m repro finetune --artifact artifact.npz --strategy eie-attn
     python -m repro evaluate --artifact artifact.npz --task link_prediction
+    python -m repro serve --artifact artifact.npz --port 8471
 
 Every pipeline subcommand accepts ``--config FILE`` (JSON produced by
 ``RunConfig.to_json`` — see ``python -m repro pretrain --dump-config``)
@@ -100,6 +101,11 @@ def _cmd_finetune(args: argparse.Namespace) -> int:
                default=float("nan"))
     print(f"fine-tuned {config.backbone} with strategy {config.strategy!r} "
           f"for {len(pipeline.history)} epoch(s); best val AUC {best:.4f}")
+    # Persist the fine-tuned bundle (format v2) so a later `evaluate` or
+    # `serve` reuses the trained head instead of re-fitting.
+    out = args.out if args.out else args.artifact
+    pipeline.save(out)
+    print(f"artifact with fine-tuned head written to {out}")
     if args.out_history:
         with open(args.out_history, "w") as fh:
             json.dump(pipeline.history, fh, indent=2)
@@ -118,11 +124,31 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     pipeline = Pipeline(config, artifact=artifact)
-    pipeline.finetune(verbose=not args.quiet)
-    metrics = pipeline.evaluate()
-    print(f"=== {config.task} ({config.strategy}, {config.backbone}) ===")
+    # A v2 artifact may carry the fine-tuned model; evaluate() loads it
+    # instead of silently re-running fine-tuning (--refit forces it).
+    metrics = pipeline.evaluate(refit=args.refit, verbose=not args.quiet)
+    reused = (not args.refit and artifact is not None
+              and artifact.finetuned is not None
+              and not pipeline.train_seconds)
+    source = "saved fine-tuned head" if reused else "freshly fine-tuned"
+    print(f"=== {config.task} ({config.strategy}, {config.backbone}; "
+          f"{source}) ===")
     _print_metrics(metrics, args.out)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.http import main as serve_main
+    argv = ["--artifact", args.artifact, "--host", args.host,
+            "--port", str(args.port),
+            "--cache-capacity", str(args.cache_capacity),
+            "--window-ms", str(args.window_ms),
+            "--compaction-threshold", str(args.compaction_threshold)]
+    if args.no_verify_fingerprint:
+        argv.append("--no-verify-fingerprint")
+    if args.quiet:
+        argv.append("--quiet")
+    return serve_main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +249,10 @@ def main(argv: list[str] | None = None) -> int:
         "finetune", help="fine-tune downstream from a saved artifact")
     _add_config_options(fin)
     fin.add_argument("--artifact", required=True, metavar="FILE")
+    fin.add_argument("--out", default=None, metavar="FILE",
+                     help="where to write the artifact with the "
+                          "fine-tuned head (default: update --artifact "
+                          "in place)")
     fin.add_argument("--out-history", default=None, metavar="FILE",
                      help="write per-epoch fine-tuning history as JSON")
 
@@ -235,6 +265,24 @@ def main(argv: list[str] | None = None) -> int:
                     help="restrict scoring to unseen-node events (Table X)")
     ev.add_argument("--out", default=None, metavar="FILE",
                     help="write metrics as JSON")
+    ev.add_argument("--refit", action="store_true",
+                    help="re-run fine-tuning even when the artifact "
+                         "carries a saved fine-tuned head")
+
+    srv = sub.add_parser(
+        "serve", help="serve embedding / link-score queries over HTTP "
+                      "from a saved artifact")
+    srv.add_argument("--artifact", required=True, metavar="FILE")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8471)
+    srv.add_argument("--cache-capacity", type=int, default=65536,
+                     help="embedding LRU rows (0 disables the cache)")
+    srv.add_argument("--window-ms", type=float, default=0.0,
+                     help="micro-batch coalescing window in ms")
+    srv.add_argument("--compaction-threshold", type=int, default=4096,
+                     help="ingested events buffered before CSR merge")
+    srv.add_argument("--no-verify-fingerprint", action="store_true")
+    srv.add_argument("--quiet", action="store_true")
 
     sub.add_parser("list", help="list registered experiments")
 
@@ -252,8 +300,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"pretrain": _cmd_pretrain, "finetune": _cmd_finetune,
-                "evaluate": _cmd_evaluate, "list": _cmd_list,
-                "run": _cmd_run, "profile": _cmd_profile}
+                "evaluate": _cmd_evaluate, "serve": _cmd_serve,
+                "list": _cmd_list, "run": _cmd_run, "profile": _cmd_profile}
     try:
         return handlers[args.command](args)
     except (ConfigError, ArtifactError) as exc:

@@ -16,7 +16,7 @@ experiment runners are thin layers over these three classes.
 """
 
 from .artifact import (ARTIFACT_FORMAT_VERSION, ArtifactError,
-                       PretrainArtifact, stream_fingerprint)
+                       FineTunedBundle, PretrainArtifact, stream_fingerprint)
 from .config import (TASKS, ConfigError, DataConfig, RunConfig,
                      normalize_task, parse_override, parse_set_args)
 from .data import ResolvedData, dataset_names, resolve_data
@@ -26,7 +26,7 @@ __all__ = [
     "RunConfig", "DataConfig", "ConfigError", "TASKS", "normalize_task",
     "parse_override", "parse_set_args",
     "PretrainArtifact", "ArtifactError", "ARTIFACT_FORMAT_VERSION",
-    "stream_fingerprint",
+    "FineTunedBundle", "stream_fingerprint",
     "ResolvedData", "resolve_data", "dataset_names",
     "Pipeline",
 ]

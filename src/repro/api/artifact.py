@@ -27,13 +27,20 @@ from ..graph.events import EventStream
 from ..nn.serialization import save_arrays
 from .config import ConfigError, RunConfig
 
-__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactError", "PretrainArtifact",
-           "stream_fingerprint"]
+__all__ = ["ARTIFACT_FORMAT_VERSION", "ArtifactError", "FineTunedBundle",
+           "PretrainArtifact", "stream_fingerprint"]
 
-ARTIFACT_FORMAT_VERSION = 1
+# Version 2 (this build) adds an optional fine-tuned bundle — downstream
+# encoder parameters, task head, EIE module — so ``evaluate`` can score
+# without re-running fine-tuning.  Version-1 files still load (the bundle
+# is simply absent).
+ARTIFACT_FORMAT_VERSION = 2
 
 _META_KEY = "__meta__"
 _ENCODER_PREFIX = "encoder/"
+_FT_PREFIXES = {"encoder_state": "finetuned/encoder/",
+                "head_state": "finetuned/head/",
+                "eie_state": "finetuned/eie/"}
 _REQUIRED_ARRAYS = ("memory_state", "last_update", "checkpoints",
                     "loss_history")
 _REQUIRED_META = ("format_version", "run_config", "num_nodes", "delta_scale",
@@ -44,14 +51,55 @@ class ArtifactError(RuntimeError):
     """Unreadable or incompatible pre-training artifact."""
 
 
-def stream_fingerprint(stream: EventStream) -> str:
-    """Stable short hash of a stream's events (identity, not provenance)."""
+def stream_fingerprint(stream: EventStream,
+                       include_payloads: bool = True) -> str:
+    """Stable short hash of a stream's events (identity, not provenance).
+
+    Edge features and labels participate when present, so two streams
+    with identical topology but different payloads do not collide in the
+    on-disk :class:`~repro.experiments.common.PretrainCache`; featureless
+    streams keep their historical fingerprints.
+    ``include_payloads=False`` computes the legacy topology-only hash,
+    which format-v1 artifacts recorded.
+    """
     digest = hashlib.sha256()
     digest.update(np.int64(stream.num_nodes).tobytes())
     digest.update(np.ascontiguousarray(stream.src).tobytes())
     digest.update(np.ascontiguousarray(stream.dst).tobytes())
     digest.update(np.ascontiguousarray(stream.timestamps).tobytes())
+    if include_payloads:
+        if stream.edge_feats is not None:
+            digest.update(b"edge_feats")
+            digest.update(np.ascontiguousarray(stream.edge_feats).tobytes())
+        if stream.labels is not None:
+            digest.update(b"labels")
+            digest.update(np.ascontiguousarray(stream.labels).tobytes())
     return digest.hexdigest()[:16]
+
+
+@dataclass
+class FineTunedBundle:
+    """A fine-tuned downstream model riding along in a v2 artifact.
+
+    ``encoder_state`` are the *fine-tuned* encoder parameters (the
+    pre-trained ones after downstream training), ``head_state`` the task
+    head, ``eie_state`` the optional EIE module; ``history`` the
+    per-epoch fine-tuning log.  Together with the artifact's pre-trained
+    memory they reproduce the exact post-fine-tuning model, so
+    ``evaluate`` (and the serving layer's ``score_links``) can skip
+    re-training.
+    """
+
+    task: str
+    strategy: str
+    encoder_state: dict[str, np.ndarray]
+    head_state: dict[str, np.ndarray]
+    eie_state: dict[str, np.ndarray] | None = None
+    history: list[dict] = None
+
+    def __post_init__(self):
+        if self.history is None:
+            self.history = []
 
 
 @dataclass
@@ -65,6 +113,7 @@ class PretrainArtifact:
     dataset_fingerprint: str = ""
     dataset_name: str = ""
     format_version: int = ARTIFACT_FORMAT_VERSION
+    finetuned: FineTunedBundle | None = None
 
     @property
     def backbone(self) -> str:
@@ -88,7 +137,19 @@ class PretrainArtifact:
                              "L_eps": round(l_eps, 4),
                              "L_tlp": round(l_tlp, 4)},
             "format_version": self.format_version,
+            "finetuned": (None if self.finetuned is None else
+                          {"task": self.finetuned.task,
+                           "strategy": self.finetuned.strategy,
+                           "epochs": len(self.finetuned.history)}),
         }
+
+    def loss_curves(self) -> dict[str, list[float]]:
+        """Per-batch pre-training loss curves keyed by objective name."""
+        history = np.asarray(self.result.loss_history,
+                             dtype=np.float64).reshape(-1, 3)
+        return {"L_eta": history[:, 0].tolist(),
+                "L_eps": history[:, 1].tolist(),
+                "L_tlp": history[:, 2].tolist()}
 
     # ------------------------------------------------------------------
     # persistence
@@ -108,7 +169,11 @@ class PretrainArtifact:
         arrays["loss_history"] = np.asarray(result.loss_history,
                                             dtype=np.float64).reshape(-1, 3)
         meta = {
-            "format_version": self.format_version,
+            # Saving writes at least the current format (a v1 file
+            # re-saved by this build upgrades to v2); an explicitly
+            # newer field value round-trips so forward-compat checks work.
+            "format_version": max(self.format_version,
+                                  ARTIFACT_FORMAT_VERSION),
             "run_config": self.run_config.to_dict(),
             "num_nodes": int(self.num_nodes),
             "delta_scale": float(self.delta_scale),
@@ -118,6 +183,18 @@ class PretrainArtifact:
             # trained/stored at — npz round-trips array dtypes verbatim.
             "memory_dtype": str(np.asarray(result.memory_state).dtype),
         }
+        if self.finetuned is not None:
+            bundle = self.finetuned
+            for attr, prefix in _FT_PREFIXES.items():
+                state = getattr(bundle, attr)
+                if state is None:
+                    continue
+                for name, array in state.items():
+                    arrays[f"{prefix}{name}"] = array
+            meta["finetuned"] = {"task": bundle.task,
+                                 "strategy": bundle.strategy,
+                                 "has_eie": bundle.eie_state is not None,
+                                 "history": bundle.history}
         arrays[_META_KEY] = np.array(json.dumps(meta))
         save_arrays(path, arrays)
 
@@ -163,7 +240,25 @@ class PretrainArtifact:
             name[len(_ENCODER_PREFIX):]: array
             for name, array in arrays.items()
             if name.startswith(_ENCODER_PREFIX)
+            and not name.startswith("finetuned/")
         }
+        finetuned = None
+        ft_meta = meta.get("finetuned")
+        if ft_meta is not None:
+            states = {
+                attr: {name[len(prefix):]: array
+                       for name, array in arrays.items()
+                       if name.startswith(prefix)}
+                for attr, prefix in _FT_PREFIXES.items()
+            }
+            finetuned = FineTunedBundle(
+                task=ft_meta["task"], strategy=ft_meta["strategy"],
+                encoder_state=states["encoder_state"],
+                head_state=states["head_state"],
+                eie_state=(states["eie_state"]
+                           if ft_meta.get("has_eie") else None),
+                history=ft_meta.get("history", []),
+            )
         checkpoints = MemoryCheckpoints()
         for snapshot in arrays["checkpoints"]:
             checkpoints.add(snapshot)
@@ -183,4 +278,5 @@ class PretrainArtifact:
             dataset_fingerprint=meta["dataset_fingerprint"],
             dataset_name=meta["dataset_name"],
             format_version=version,
+            finetuned=finetuned,
         )

@@ -31,7 +31,7 @@ from ..graph.events import EventStream
 from ..tasks.finetune import build_finetuned_encoder
 from ..tasks.link_prediction import LinkPredictionTask
 from ..tasks.node_classification import NodeClassificationTask
-from .artifact import PretrainArtifact, stream_fingerprint
+from .artifact import FineTunedBundle, PretrainArtifact, stream_fingerprint
 from .config import ConfigError, RunConfig, normalize_task
 from .data import ResolvedData, resolve_data
 
@@ -84,6 +84,21 @@ class Pipeline:
         """Persist the pre-training artifact produced by :meth:`pretrain`."""
         if self.artifact is None:
             raise ConfigError("nothing to save: run pretrain() first")
+        self.artifact.save(path)
+        return self
+
+    def export_for_serving(self, path: str) -> "Pipeline":
+        """Persist everything :class:`repro.serve.EmbeddingService` needs.
+
+        The artifact written here carries the pre-trained encoder +
+        memory + EIE checkpoints and — when :meth:`finetune` has run —
+        the fine-tuned task head bundle (format v2), making
+        ``pretrain() → finetune() → export_for_serving()`` one fluent
+        chain from raw stream to a servable file.  Pre-trains first if no
+        artifact exists yet.
+        """
+        if self.artifact is None:
+            self.pretrain()
         self.artifact.save(path)
         return self
 
@@ -187,21 +202,37 @@ class Pipeline:
         self.history = runner.train(verbose=verbose)
         self.train_seconds = time.perf_counter() - start
         self._runner = runner
+        if self.artifact is not None:
+            # Ride the fine-tuned model along in the artifact (format v2)
+            # so a later evaluate() — or the serving layer — can reuse it
+            # without re-training.
+            self.artifact.finetuned = FineTunedBundle(
+                task=task, strategy=strategy,
+                encoder_state=built.encoder.state_dict(),
+                head_state=runner.head.state_dict(),
+                eie_state=(built.eie.state_dict()
+                           if built.eie is not None else None),
+                history=list(self.history))
         return self
 
     # ------------------------------------------------------------------
     # stage 3: evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, inductive: bool | None = None):
+    def evaluate(self, inductive: bool | None = None, refit: bool = False,
+                 verbose: bool = False):
         """Score the fine-tuned model on the test segment.
 
         Returns :class:`~repro.tasks.link_prediction.LinkPredictionMetrics`
         or :class:`~repro.tasks.node_classification.NodeClassificationMetrics`
-        depending on the task.  Calls :meth:`finetune` first if it has not
-        run yet.
+        depending on the task.  When the artifact carries a saved
+        fine-tuned bundle for this task/strategy (format v2) it is loaded
+        instead of silently re-running fine-tuning; pass ``refit=True``
+        (or call :meth:`finetune` yourself) to force re-training.
+        ``verbose`` applies to any fallback fine-tuning run.
         """
         if self._runner is None:
-            self.finetune()
+            if refit or not self._load_saved_finetuned():
+                self.finetune(verbose=verbose)
         if inductive is None:
             inductive = self.config.inductive
         if isinstance(self._runner, LinkPredictionTask):
@@ -214,7 +245,8 @@ class Pipeline:
     def evaluate_ranking(self, num_candidates: int = 20):
         """Ranked-retrieval metrics (MRR / Hits@K) for link prediction."""
         if self._runner is None:
-            self.finetune()
+            if not self._load_saved_finetuned():
+                self.finetune()
         if not isinstance(self._runner, LinkPredictionTask):
             raise ConfigError("ranking evaluation only applies to "
                               "link prediction")
@@ -233,6 +265,46 @@ class Pipeline:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _load_saved_finetuned(self) -> bool:
+        """Reconstruct the runner from the artifact's fine-tuned bundle.
+
+        Returns False (caller falls back to :meth:`finetune`) when there
+        is no bundle or it was trained for a different task/strategy.
+        """
+        artifact = self.artifact
+        if artifact is None or artifact.finetuned is None:
+            return False
+        bundle = artifact.finetuned
+        task = normalize_task(self.config.task)
+        if bundle.task != task or bundle.strategy != self.config.strategy:
+            return False
+        resolved = self._data()
+        if bundle.strategy == "none":
+            pretrained, delta_scale = None, 1.0
+            num_nodes = resolved.num_nodes
+        else:
+            self._check_artifact_compatible()
+            pretrained = artifact.result
+            delta_scale = artifact.delta_scale
+            num_nodes = artifact.num_nodes
+        built = build_finetuned_encoder(
+            self.config.backbone, num_nodes, self.config.pretrain,
+            pretrained, bundle.strategy, self.config.finetune,
+            delta_scale=delta_scale)
+        if task == "link_prediction":
+            runner = LinkPredictionTask(built, resolved.downstream,
+                                        self.config.finetune)
+        else:
+            runner = NodeClassificationTask(built, resolved.downstream,
+                                            self.config.finetune)
+        built.encoder.load_state_dict(bundle.encoder_state)
+        runner.head.load_state_dict(bundle.head_state)
+        if built.eie is not None and bundle.eie_state is not None:
+            built.eie.load_state_dict(bundle.eie_state)
+        self.history = list(bundle.history)
+        self._runner = runner
+        return True
+
     def _data(self) -> ResolvedData:
         if self._resolved is None:
             self._resolved = resolve_data(self.config.data)

@@ -33,10 +33,61 @@ import numpy as np
 
 from .events import EventStream
 
-__all__ = ["NeighborFinder"]
+__all__ = ["NeighborFinder", "build_temporal_csr", "segment_cut"]
 
 _CSR_ARRAYS = ("indptr", "neighbors", "times", "event_ids")
 _CSR_META = "csr_meta.json"
+
+
+def build_temporal_csr(src: np.ndarray, dst: np.ndarray,
+                       timestamps: np.ndarray, event_ids: np.ndarray,
+                       num_nodes: int
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(indptr, neighbors, times, event_ids)`` for an event block.
+
+    Each event is indexed under both endpoints; per-node slices come out
+    sorted by time with event order breaking ties (the invariant every
+    :class:`NeighborFinder` query relies on).  ``event_ids`` may be any
+    increasing int64 array — live-ingestion deltas pass *global* ids so a
+    delta CSR can be merged into a larger one later.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    event_ids = np.asarray(event_ids, dtype=np.int64)
+    endpoints = np.concatenate([src, dst])
+    peers = np.concatenate([dst, src])
+    eids = np.concatenate([event_ids, event_ids])
+    order = np.lexsort((eids, endpoints))
+    counts = np.bincount(endpoints, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return (indptr, peers[order], np.tile(timestamps, 2)[order], eids[order])
+
+
+def segment_cut(values: np.ndarray, indptr: np.ndarray, nodes: np.ndarray,
+                thresholds: np.ndarray,
+                starts: np.ndarray | None = None) -> np.ndarray:
+    """First flat index per node whose ``values`` entry is >= threshold.
+
+    A manual binary search over all rows at once (``O(log max_deg)``
+    numpy passes); ``values`` must be non-decreasing within each node's
+    CSR slice — true of both ``times`` and ``event_ids``.
+    """
+    lo = (indptr[nodes] if starts is None else starts).copy()
+    hi = indptr[nodes + 1].copy()
+    if len(values) and len(nodes):
+        max_gap = int((hi - lo).max())
+        # Invariant: the cut point lies in [lo, hi]; once lo == hi the
+        # row is settled and further iterations leave it unchanged, so
+        # a fixed ceil(log2) iteration count needs no active mask.
+        for _ in range(max(max_gap, 1).bit_length()):
+            mid = (lo + hi) >> 1
+            go_right = (values[np.minimum(mid, len(values) - 1)]
+                        < thresholds) & (lo < hi)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(go_right, hi, np.maximum(mid, lo))
+    return lo
 
 
 class NeighborFinder:
@@ -51,22 +102,14 @@ class NeighborFinder:
 
     def __init__(self, stream: EventStream):
         self.num_nodes = stream.num_nodes
-        n_events = stream.num_events
         # Each event appears twice: once under src, once under dst.  The
         # stream is time-sorted, so sorting the doubled arrays by
         # (endpoint, event index) yields per-node slices sorted by time
         # with the same tie order the event list implies.
-        endpoints = np.concatenate([stream.src, stream.dst])
-        peers = np.concatenate([stream.dst, stream.src])
-        eids = np.concatenate([np.arange(n_events, dtype=np.int64)] * 2) \
-            if n_events else np.empty(0, dtype=np.int64)
-        order = np.lexsort((eids, endpoints))
-        self._neighbors = peers[order]
-        self._times = np.tile(stream.timestamps, 2)[order]
-        self._event_ids = eids[order]
-        counts = np.bincount(endpoints, minlength=self.num_nodes)
-        self._indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._indptr[1:])
+        (self._indptr, self._neighbors, self._times,
+         self._event_ids) = build_temporal_csr(
+            stream.src, stream.dst, stream.timestamps,
+            np.arange(stream.num_events, dtype=np.int64), self.num_nodes)
 
     # ------------------------------------------------------------------
     # construction from raw CSR arrays / shard files
@@ -216,26 +259,9 @@ class NeighborFinder:
 
     def _segment_cut(self, values: np.ndarray, nodes: np.ndarray,
                      thresholds: np.ndarray, starts: np.ndarray) -> np.ndarray:
-        """First flat index per node whose ``values`` entry is >= threshold.
-
-        A manual binary search over all rows at once (``O(log max_deg)``
-        numpy passes); ``values`` must be non-decreasing within each
-        node's CSR slice — true of both ``times`` and ``event_ids``.
-        """
-        lo = starts.copy()
-        hi = self._indptr[nodes + 1].copy()
-        if len(values) and len(nodes):
-            max_gap = int((hi - lo).max())
-            # Invariant: the cut point lies in [lo, hi]; once lo == hi the
-            # row is settled and further iterations leave it unchanged, so
-            # a fixed ceil(log2) iteration count needs no active mask.
-            for _ in range(max(max_gap, 1).bit_length()):
-                mid = (lo + hi) >> 1
-                go_right = (values[np.minimum(mid, len(values) - 1)]
-                            < thresholds) & (lo < hi)
-                lo = np.where(go_right, mid + 1, lo)
-                hi = np.where(go_right, hi, np.maximum(mid, lo))
-        return lo
+        """Batched cut search over this CSR (see :func:`segment_cut`)."""
+        return segment_cut(values, self._indptr, nodes, thresholds,
+                           starts=starts)
 
     def batch_last_update(self, nodes: np.ndarray, event_cut: int,
                           base: np.ndarray | None = None) -> np.ndarray:

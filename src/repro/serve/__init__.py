@@ -1,0 +1,32 @@
+"""Online serving over pre-trained CPDG artifacts (``repro.serve``).
+
+The runtime layer of *pre-train once, reuse everywhere* (paper §V): a
+saved :class:`~repro.api.artifact.PretrainArtifact` becomes a long-lived
+query engine whose memory keeps evolving as live events arrive.
+
+* :class:`EmbeddingService` — ``from_artifact(path)`` →
+  ``embed`` / ``score_links`` / ``top_k`` / ``ingest``;
+* :class:`DynamicNeighborFinder` — append-only temporal CSR (delta
+  buffer + periodic compaction) with the full ``NeighborFinder`` query
+  contract, so samplers and batch producers run unchanged on live graphs;
+* :class:`LiveIngestor` — replay-equivalent memory advancement through
+  the sparse-delta staging path;
+* :class:`MicroBatchPlanner` / :class:`EmbeddingLRU` — request
+  coalescing and node-keyed caching with per-touched-row invalidation;
+* :mod:`repro.serve.http` — stdlib JSON HTTP frontend plus in-process
+  and HTTP clients (``repro serve`` / ``repro-serve``).
+"""
+
+from .dynamic_finder import DynamicNeighborFinder, IngestError
+from .http import HttpClient, LocalClient, main, start_http_server
+from .ingest import IngestStats, LiveIngestor
+from .planner import EmbeddingLRU, MicroBatchPlanner, PlannerStats
+from .service import EmbeddingService, ServeConfig, ServeError
+
+__all__ = [
+    "DynamicNeighborFinder", "IngestError",
+    "LiveIngestor", "IngestStats",
+    "EmbeddingLRU", "MicroBatchPlanner", "PlannerStats",
+    "EmbeddingService", "ServeConfig", "ServeError",
+    "LocalClient", "HttpClient", "start_http_server", "main",
+]

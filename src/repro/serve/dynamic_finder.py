@@ -1,0 +1,448 @@
+"""Append-only temporal adjacency for live serving.
+
+:class:`DynamicNeighborFinder` answers the full
+:class:`~repro.graph.neighbor_finder.NeighborFinder` query contract over
+a graph that keeps growing while queries are served.  Internally it is a
+two-level LSM-style structure:
+
+* **base** — a compacted flat CSR (``indptr`` / ``neighbors`` / ``times``
+  / ``event_ids``), identical to a freshly built ``NeighborFinder``;
+* **delta** — an append-only buffer of recently ingested events, lowered
+  into a small CSR of its own (with *global* event ids) the first time a
+  query arrives after an append.
+
+Appends are O(batch); queries touch the base CSR plus a delta the size of
+the un-compacted tail; :meth:`compact` (triggered automatically once the
+delta outgrows ``compaction_threshold`` events) merges the delta into the
+base in one vectorized O(E) pass.
+
+The flat-index contract is preserved exactly: ``batch_before`` returns
+``(starts, ends)`` into a **virtual address space** in which every node's
+history is contiguous — base entries first, delta entries after — and the
+``neighbors`` / ``times`` / ``event_ids`` properties are gather objects
+over that space.  Because live events are time-monotone (every appended
+timestamp is >= everything already indexed), a node's before-``t`` slice
+is always a contiguous virtual range, so the PR-2 samplers (which
+dereference ``finder.neighbors[flat]`` with raw cut indices) and the PR-4
+``produce_batch`` run unchanged on a live graph.  Every query is
+bit-identical to a ``NeighborFinder`` rebuilt from scratch over the
+concatenated event list — the property :mod:`tests.test_serve` asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.events import EventStream
+from ..graph.neighbor_finder import (NeighborFinder, build_temporal_csr,
+                                     segment_cut)
+
+__all__ = ["DynamicNeighborFinder", "IngestError"]
+
+
+class IngestError(ValueError):
+    """An appended event block violates the live-stream invariants."""
+
+
+class _VirtualColumn:
+    """Flat gather view of one column over the base + delta CSRs.
+
+    Index ``v`` maps to node ``i = searchsorted(vindptr, v, 'right') - 1``
+    at per-node offset ``v - vindptr[i]``: offsets below the node's base
+    degree read the base CSR, the rest read the delta CSR.  Supports the
+    fancy indexing the samplers use (``column[flat_index_array]``).
+    """
+
+    def __init__(self, owner: "DynamicNeighborFinder", name: str):
+        self._owner = owner
+        self._name = name
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self._owner._gather(self._name, index)
+
+    def __len__(self) -> int:
+        return self._owner.num_entries
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        full = self._owner._gather(
+            self._name, np.arange(self._owner.num_entries, dtype=np.int64))
+        return full if dtype is None else full.astype(dtype)
+
+
+class DynamicNeighborFinder:
+    """Live-updatable temporal CSR with ``NeighborFinder`` semantics.
+
+    Parameters
+    ----------
+    base:
+        The starting adjacency — an :class:`EventStream` (indexed with
+        event ids ``0..n-1``) or an already-built :class:`NeighborFinder`.
+    compaction_threshold:
+        Delta size (in events) beyond which an append triggers an
+        automatic :meth:`compact`.  ``None`` disables auto-compaction.
+    """
+
+    def __init__(self, base: EventStream | NeighborFinder,
+                 compaction_threshold: int | None = 4096):
+        if isinstance(base, EventStream):
+            base = NeighborFinder(base)
+        self._base = base
+        self.num_nodes = base.num_nodes
+        self.compaction_threshold = compaction_threshold
+        # Raw append buffers (event granularity, not CSR-entry granularity).
+        self._buf_src: list[np.ndarray] = []
+        self._buf_dst: list[np.ndarray] = []
+        self._buf_ts: list[np.ndarray] = []
+        self._buf_eid: list[np.ndarray] = []
+        self._delta: NeighborFinder | None = None   # lowered delta CSR
+        self._delta_events = 0
+        self._dirty = False
+        self._vindptr: np.ndarray | None = None     # cached merged indptr
+        self.compactions = 0
+        # The CSR is per-node sorted, so the global max needs one full
+        # scan (construction-time only).
+        base_times = np.asarray(base.times)
+        self._t_max = float(base_times.max()) if len(base_times) else -np.inf
+        base_eids = base.event_ids
+        self._next_event_id = (int(np.asarray(base_eids).max()) + 1
+                               if len(base_eids) else 0)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """Total events indexed (base + delta), by id high-water mark."""
+        return self._next_event_id
+
+    @property
+    def delta_events(self) -> int:
+        """Events appended since the last compaction."""
+        return self._delta_events
+
+    @property
+    def num_entries(self) -> int:
+        """Total flat CSR entries (each event counts under both endpoints)."""
+        return int(self._base.indptr[-1]) + 2 * self._delta_events
+
+    def append(self, src: np.ndarray, dst: np.ndarray,
+               timestamps: np.ndarray,
+               event_ids: np.ndarray | None = None) -> np.ndarray:
+        """Index a block of new events; returns their global event ids.
+
+        Live-stream invariants are enforced: node ids must fit the node
+        space, timestamps must be non-decreasing and >= every timestamp
+        already indexed, and explicit ``event_ids`` must continue the
+        global sequence.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if not (len(src) == len(dst) == len(timestamps)):
+            raise IngestError("src, dst and timestamps must have equal length")
+        if len(src) == 0:
+            return np.empty(0, dtype=np.int64)
+        if src.min() < 0 or dst.min() < 0 \
+                or max(src.max(), dst.max()) >= self.num_nodes:
+            raise IngestError(
+                f"event endpoints must lie in [0, {self.num_nodes}); the "
+                "node space is fixed at service construction")
+        if np.any(np.diff(timestamps) < 0):
+            raise IngestError("appended timestamps must be non-decreasing")
+        if timestamps[0] < self._t_max:
+            raise IngestError(
+                f"appended timestamps must be >= {self._t_max} (the newest "
+                "indexed event); live ingestion is time-monotone")
+        if event_ids is None:
+            event_ids = np.arange(self._next_event_id,
+                                  self._next_event_id + len(src),
+                                  dtype=np.int64)
+        else:
+            event_ids = np.asarray(event_ids, dtype=np.int64)
+            expected = np.arange(self._next_event_id,
+                                 self._next_event_id + len(src))
+            if not np.array_equal(event_ids, expected):
+                raise IngestError(
+                    f"event ids must continue the global sequence at "
+                    f"{self._next_event_id}")
+        self._buf_src.append(src)
+        self._buf_dst.append(dst)
+        self._buf_ts.append(timestamps)
+        self._buf_eid.append(event_ids)
+        self._delta_events += len(src)
+        self._dirty = True
+        self._t_max = float(timestamps[-1])
+        self._next_event_id += len(src)
+        if self.compaction_threshold is not None \
+                and self._delta_events >= self.compaction_threshold:
+            self.compact()
+        return event_ids
+
+    def _refresh_delta(self) -> NeighborFinder | None:
+        """Lower buffered appends into the delta CSR (lazy, amortized).
+
+        Also memoizes the merged virtual ``indptr`` — queries on the hot
+        path read it several times per request, and an O(num_nodes) add
+        per read would dominate small batches at large node counts.
+        """
+        if self._dirty:
+            arrays = build_temporal_csr(
+                np.concatenate(self._buf_src), np.concatenate(self._buf_dst),
+                np.concatenate(self._buf_ts), np.concatenate(self._buf_eid),
+                self.num_nodes)
+            self._delta = NeighborFinder.from_arrays(*arrays)
+            self._dirty = False
+            self._vindptr = np.asarray(self._base.indptr) + arrays[0]
+        return self._delta
+
+    def compact(self) -> None:
+        """Merge the delta CSR into the base CSR (one vectorized pass).
+
+        Per node the merged slice is base entries followed by delta
+        entries — already the (time, event id) order a from-scratch
+        rebuild produces, so no re-sort is needed.
+        """
+        delta = self._refresh_delta()
+        if delta is None or self._delta_events == 0:
+            return
+        bip, dip = np.asarray(self._base.indptr), delta.indptr
+        b_deg, d_deg = np.diff(bip), np.diff(dip)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(b_deg + d_deg, out=indptr[1:])
+        nodes_b = np.repeat(np.arange(self.num_nodes), b_deg)
+        nodes_d = np.repeat(np.arange(self.num_nodes), d_deg)
+        dest_b = (indptr[nodes_b]
+                  + np.arange(len(nodes_b), dtype=np.int64) - bip[nodes_b])
+        dest_d = (indptr[nodes_d] + b_deg[nodes_d]
+                  + np.arange(len(nodes_d), dtype=np.int64) - dip[nodes_d])
+        merged = {}
+        for name in ("neighbors", "times", "event_ids"):
+            b_col = np.asarray(getattr(self._base, name))
+            d_col = getattr(delta, name)
+            out = np.empty(len(b_col) + len(d_col), dtype=b_col.dtype)
+            out[dest_b] = b_col
+            out[dest_d] = d_col
+            merged[name] = out
+        self._base = NeighborFinder.from_arrays(
+            indptr, merged["neighbors"], merged["times"],
+            merged["event_ids"])
+        self._buf_src, self._buf_dst = [], []
+        self._buf_ts, self._buf_eid = [], []
+        self._delta = None
+        self._delta_events = 0
+        self._dirty = False
+        self._vindptr = None
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # virtual flat address space
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        if self._refresh_delta() is None:
+            return self._base.indptr
+        return self._vindptr
+
+    @property
+    def neighbors(self):
+        delta = self._refresh_delta()
+        if delta is None:
+            return self._base.neighbors
+        return _VirtualColumn(self, "neighbors")
+
+    @property
+    def times(self):
+        delta = self._refresh_delta()
+        if delta is None:
+            return self._base.times
+        return _VirtualColumn(self, "times")
+
+    @property
+    def event_ids(self):
+        delta = self._refresh_delta()
+        if delta is None:
+            return self._base.event_ids
+        return _VirtualColumn(self, "event_ids")
+
+    def _gather(self, name: str, index) -> np.ndarray:
+        """Resolve virtual flat indices against base + delta columns."""
+        delta = self._refresh_delta()
+        index = np.asarray(index, dtype=np.int64)
+        shape = index.shape
+        flat = index.reshape(-1)
+        base_col = np.asarray(getattr(self._base, name))
+        if delta is None:
+            return base_col[flat].reshape(shape)
+        vindptr = self.indptr
+        nodes = np.searchsorted(vindptr, flat, side="right") - 1
+        offset = flat - vindptr[nodes]
+        bip = np.asarray(self._base.indptr)
+        base_deg = bip[nodes + 1] - bip[nodes]
+        in_base = offset < base_deg
+        delta_col = getattr(delta, name)
+        out = np.empty(len(flat), dtype=base_col.dtype)
+        out[in_base] = base_col[(bip[nodes] + offset)[in_base]]
+        rest = ~in_base
+        out[rest] = delta_col[(delta.indptr[nodes] + offset
+                               - base_deg)[rest]]
+        return out.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # batch-first queries (NeighborFinder contract)
+    # ------------------------------------------------------------------
+    def batch_before(self, nodes: np.ndarray, ts: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Virtual ``(starts, ends)`` of each node's strictly-before slice.
+
+        Contiguity holds because delta timestamps are >= every base
+        timestamp: whenever a row's cut admits any delta entry, it admits
+        the node's whole base slice first.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        delta = self._refresh_delta()
+        b_starts, b_ends = self._base.batch_before(nodes, ts)
+        if delta is None:
+            return b_starts, b_ends
+        d_starts, d_ends = delta.batch_before(nodes, ts)
+        starts = self.indptr[nodes]
+        return starts, starts + (b_ends - b_starts) + (d_ends - d_starts)
+
+    def batch_degree(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        starts, ends = self.batch_before(nodes, ts)
+        return ends - starts
+
+    def batch_most_recent(self, nodes: np.ndarray, ts: np.ndarray, count: int
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray]:
+        """Padded most-recent query merged across base and delta.
+
+        Valid entries are right-aligned chronological in both halves, and
+        every delta entry is newer than every base entry, so the merged
+        row is the rightmost ``count`` of (base valid ++ delta valid).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        delta = self._refresh_delta()
+        base = self._base.batch_most_recent(nodes, ts, count)
+        if delta is None:
+            return base
+        b_n, b_t, b_e, b_mask = base
+        d_n, d_t, d_e, d_mask = delta.batch_most_recent(nodes, ts, count)
+        if d_mask.all():
+            return base
+        v_base = count - b_mask.sum(axis=1)
+        v_delta = count - d_mask.sum(axis=1)
+        keep = np.minimum(v_base + v_delta, count)
+        cols = np.arange(count, dtype=np.int64)
+        right = count - 1 - cols[None, :]                  # distance from right
+        valid = cols[None, :] >= (count - keep)[:, None]
+        from_delta = valid & (right < v_delta[:, None])
+        from_base = valid & ~from_delta
+        d_col = np.clip(count - 1 - right, 0, count - 1)
+        b_col = np.clip(count - 1 - (right - v_delta[:, None]), 0, count - 1)
+        rows = np.broadcast_to(np.arange(len(nodes))[:, None], from_base.shape)
+        out_n = np.zeros((len(nodes), count), dtype=np.int64)
+        out_t = np.zeros((len(nodes), count), dtype=np.float64)
+        out_e = np.zeros((len(nodes), count), dtype=np.int64)
+        for out, b_val, d_val in ((out_n, b_n, d_n), (out_t, b_t, d_t),
+                                  (out_e, b_e, d_e)):
+            out[from_base] = b_val[rows[from_base], b_col[from_base]]
+            out[from_delta] = d_val[rows[from_delta],
+                                    np.broadcast_to(d_col, from_delta.shape
+                                                    )[from_delta]]
+        return out_n, out_t, out_e, ~valid
+
+    def batch_sample_uniform(self, nodes: np.ndarray, ts: np.ndarray,
+                             count: int, rng: np.random.Generator
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray]:
+        """With-replacement uniform draw — same draw recipe as the static
+        finder (``floor(U * deg)``), so identical ``rng`` state yields
+        identical samples to a rebuilt ``NeighborFinder``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        if self._refresh_delta() is None:
+            return self._base.batch_sample_uniform(nodes, ts, count, rng)
+        starts, ends = self.batch_before(nodes, ts)
+        deg = ends - starts
+        if self.num_entries == 0:
+            batch = len(deg)
+            return (np.zeros((batch, count), dtype=np.int64),
+                    np.zeros((batch, count), dtype=np.float64),
+                    np.zeros((batch, count), dtype=np.int64),
+                    np.ones((batch, count), dtype=bool))
+        empty = deg == 0
+        offsets = (rng.random((len(deg), count))
+                   * np.maximum(deg, 1)[:, None]).astype(np.int64)
+        idx = starts[:, None] + offsets
+        safe = np.where(empty[:, None], 0, idx)
+        mask = np.broadcast_to(empty[:, None], safe.shape)
+        return (np.where(mask, 0, self._gather("neighbors", safe)),
+                np.where(mask, 0.0, self._gather("times", safe)),
+                np.where(mask, 0, self._gather("event_ids", safe)),
+                mask.copy())
+
+    def batch_last_update(self, nodes: np.ndarray, event_cut: int,
+                          base: np.ndarray | None = None) -> np.ndarray:
+        """Most recent event time per node among events with id < cut.
+
+        Delta event ids extend the base sequence, so the newest qualifying
+        event is the delta's answer when it has one, else the base's.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        delta = self._refresh_delta()
+        if delta is None:
+            return self._base.batch_last_update(nodes, event_cut, base=base)
+        floor = np.zeros(len(nodes)) if base is None \
+            else np.asarray(base, dtype=np.float64)[nodes]
+        out = floor.copy()
+        thresholds = np.full(len(nodes), event_cut, dtype=np.int64)
+        for part in (self._base, delta):
+            starts = np.asarray(part.indptr)[nodes]
+            cut = segment_cut(part.event_ids, np.asarray(part.indptr),
+                              nodes, thresholds, starts=starts)
+            has = cut > starts
+            if has.any():
+                prev = np.asarray(part.times)[np.maximum(cut - 1, 0)]
+                out = np.where(has, np.maximum(prev, out), out)
+        return out
+
+    # ------------------------------------------------------------------
+    # per-node queries
+    # ------------------------------------------------------------------
+    def degree(self, node: int, t: float = np.inf) -> int:
+        return int(self.batch_degree(np.array([node]), np.array([t]))[0])
+
+    def before(self, node: int, t: float
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(neighbors, times, event_ids)`` strictly before ``t``."""
+        delta = self._refresh_delta()
+        parts = [self._base.before(node, t)]
+        if delta is not None:
+            parts.append(delta.before(node, t))
+        return tuple(np.concatenate([p[i] for p in parts]) for i in range(3))
+
+    def most_recent(self, node: int, t: float, count: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        neighbors, times, ids = self.before(node, t)
+        return neighbors[-count:] if count else neighbors[:0], \
+            times[-count:] if count else times[:0], \
+            ids[-count:] if count else ids[:0]
+
+    def sample_uniform(self, node: int, t: float, count: int,
+                       rng: np.random.Generator
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        neighbors, times, ids = self.before(node, t)
+        if len(neighbors) == 0:
+            return neighbors, times, ids
+        chosen = rng.integers(0, len(neighbors), size=count)
+        return neighbors[chosen], times[chosen], ids[chosen]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export(self, directory: str) -> None:
+        """Compact, then write the merged CSR as standard graph shards."""
+        self.compact()
+        self._base.export(directory)

@@ -1,0 +1,176 @@
+"""Live event ingestion into a frozen encoder's evolving memory.
+
+:class:`LiveIngestor` advances a serving replica exactly the way an
+offline chronological replay would: per ingested block it
+
+1. flushes the *previous* block's staged raw messages into the memory
+   through the encoder's sparse-delta :class:`~repro.dgnn.memory.MemoryView`
+   (TGN-style one-batch deferral — the same order the trainers and the
+   offline scorer use),
+2. appends the events to the :class:`~repro.serve.dynamic_finder.
+   DynamicNeighborFinder` and extends the edge-feature table,
+3. stages the block's raw messages and advances the last-update clock via
+   ``encoder.register_batch``.
+
+Because every step reuses the training-path primitives in the same
+order, serve-time ingestion is **replay-equivalent**: after ingesting a
+suffix stream, embeddings are bit-identical to an offline encoder that
+replayed the concatenated (pre-train + suffix) stream.  The ingestor also
+reports which memory rows each block touched — the flush-written rows
+plus the event endpoints — so the query layer can invalidate exactly the
+affected cache entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dgnn.encoder import DGNNEncoder, ZeroEdgeFeatures
+from ..graph.batching import EventBatch
+from ..graph.events import EventStream
+from ..nn.autograd import no_grad
+from .dynamic_finder import DynamicNeighborFinder, IngestError
+
+__all__ = ["IngestError", "IngestStats", "LiveIngestor"]
+
+
+_MAX_BLOCK_SAMPLES = 4096
+
+
+@dataclass
+class IngestStats:
+    """Counters the serve benchmarks and ``/stats`` endpoint report.
+
+    ``block_seconds`` keeps only the most recent ``_MAX_BLOCK_SAMPLES``
+    per-block timings (a rolling latency window, not an unbounded log),
+    so a long-lived replica ingesting forever cannot leak memory here.
+    """
+
+    blocks: int = 0
+    events: int = 0
+    seconds: float = 0.0
+    touched_rows: int = 0
+    block_seconds: list = field(default_factory=list, repr=False)
+
+    def record_block(self, seconds: float) -> None:
+        self.block_seconds.append(seconds)
+        if len(self.block_seconds) > _MAX_BLOCK_SAMPLES:
+            del self.block_seconds[:-_MAX_BLOCK_SAMPLES]
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    def as_row(self) -> dict:
+        return {"blocks": self.blocks, "events": self.events,
+                "events_per_sec": round(self.events_per_sec, 2),
+                "touched_rows": self.touched_rows}
+
+
+class LiveIngestor:
+    """Feeds new events into a frozen encoder + dynamic adjacency."""
+
+    def __init__(self, encoder: DGNNEncoder, finder: DynamicNeighborFinder,
+                 edge_feats: np.ndarray | None = None):
+        self.encoder = encoder
+        self.finder = finder
+        # Growable edge-feature table (indexed by global event id); None
+        # when the encoder runs featureless or on a lazy zero table.
+        self._edge_feats = edge_feats
+        self.stats = IngestStats()
+
+    @property
+    def edge_feats(self) -> np.ndarray | None:
+        return self._edge_feats
+
+    def ingest(self, src: np.ndarray, dst: np.ndarray,
+               timestamps: np.ndarray,
+               edge_feats: np.ndarray | None = None) -> np.ndarray:
+        """Ingest one event block; returns the touched memory rows.
+
+        ``edge_feats`` is required iff the service was built over a
+        stream with real edge features (the encoder captures feature rows
+        at staging time, so they must exist before staging).
+        """
+        start = time.perf_counter()
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if len(src) == 0:
+            return np.empty(0, dtype=np.int64)
+        # Validate the feature block *before* mutating anything so a bad
+        # request cannot leave the adjacency and the feature table out of
+        # sync.
+        feats = self._check_edge_feats(edge_feats, len(src))
+        event_ids = self.finder.append(src, dst, timestamps)
+        self._commit_edge_feats(feats)
+        batch = EventBatch(src=src, dst=dst, timestamps=timestamps,
+                           neg_dst=np.empty(0, dtype=np.int64),
+                           event_ids=event_ids)
+        with no_grad():
+            # Flush the previous block's pending messages first — the
+            # one-batch deferral every offline replay follows — so the
+            # new block stages against up-to-date endpoint states.
+            view = self.encoder.flush_messages()
+            flushed = np.asarray(view.touched, dtype=np.int64)
+            self.encoder.register_batch(batch)
+            self.encoder.end_batch()
+        touched = np.union1d(flushed, np.union1d(src, dst))
+        elapsed = time.perf_counter() - start
+        self.stats.blocks += 1
+        self.stats.events += len(src)
+        self.stats.seconds += elapsed
+        self.stats.record_block(elapsed)
+        self.stats.touched_rows += len(touched)
+        return touched
+
+    def ingest_stream(self, stream: EventStream,
+                      block_size: int | None = None) -> np.ndarray:
+        """Ingest a whole :class:`EventStream` (optionally in blocks)."""
+        if stream.num_nodes > self.finder.num_nodes:
+            raise IngestError(
+                f"stream node space ({stream.num_nodes}) exceeds the "
+                f"service's ({self.finder.num_nodes})")
+        size = block_size if block_size is not None else max(len(stream), 1)
+        touched = []
+        for lo in range(0, stream.num_events, size):
+            hi = min(lo + size, stream.num_events)
+            feats = (None if stream.edge_feats is None
+                     else stream.edge_feats[lo:hi])
+            touched.append(self.ingest(stream.src[lo:hi], stream.dst[lo:hi],
+                                       stream.timestamps[lo:hi],
+                                       edge_feats=feats))
+        return (np.unique(np.concatenate(touched)) if touched
+                else np.empty(0, dtype=np.int64))
+
+    def _check_edge_feats(self, block: np.ndarray | None,
+                          n: int) -> np.ndarray | None:
+        """Validate one block against the event-indexed feature table."""
+        table = self._edge_feats
+        if table is None or isinstance(table, ZeroEdgeFeatures):
+            if block is not None and self.encoder.edge_dim:
+                raise IngestError(
+                    "this service indexes no real edge features; ingest "
+                    "events without edge_feats")
+            return None
+        if block is None:
+            raise IngestError(
+                f"this service's stream has {table.shape[1]}-dim edge "
+                "features; ingested events must provide edge_feats")
+        block = np.asarray(block, dtype=table.dtype)
+        if block.shape != (n, table.shape[1]):
+            raise IngestError(
+                f"edge_feats must have shape ({n}, {table.shape[1]}), "
+                f"got {block.shape}")
+        return block
+
+    def _commit_edge_feats(self, block: np.ndarray | None) -> None:
+        """Grow the feature table before messages stage (captures rows)."""
+        if block is None:
+            return
+        self._edge_feats = np.concatenate([self._edge_feats, block])
+        # Rebind so the encoder's staging gather sees the grown table.
+        self.encoder._edge_feats = self._edge_feats

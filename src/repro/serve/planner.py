@@ -1,0 +1,291 @@
+"""Micro-batching query planner + node-keyed embedding cache.
+
+Serving traffic arrives as many small ``embed`` / ``score`` requests; the
+encoder wants one big batched pass.  :class:`MicroBatchPlanner` bridges
+the two:
+
+* concurrent callers enqueue their ``(nodes, ts)`` queries; the first
+  arrival becomes the *leader*, optionally waits ``window`` seconds for
+  followers to pile on, then drains the queue and runs **one** batched
+  ``compute`` over the union of pending queries (deduplicated by
+  ``(node, quantized_ts)``), distributing result rows back to each
+  waiter;
+* the leader loop also serialises all encoder access — the substrate is
+  not thread-safe, and the planner is the single entry point the HTTP
+  frontend and the in-process client share;
+* an :class:`EmbeddingLRU` keyed by ``(node, quantized_ts)`` short-cuts
+  repeat queries; ingestion invalidates per touched memory row via
+  :meth:`EmbeddingLRU.invalidate_nodes`, so post-ingest queries recompute
+  exactly the affected nodes.
+
+The planner is deliberately synchronous per caller (every ``embed`` call
+returns its own rows); batching happens across *threads*, which is how
+the stdlib HTTP frontend achieves coalescing under concurrent load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmbeddingLRU", "MicroBatchPlanner", "PlannerStats"]
+
+
+class EmbeddingLRU:
+    """LRU of embedding rows keyed by ``(node, quantized_ts)``.
+
+    A secondary node → keys index makes :meth:`invalidate_nodes` O(keys
+    dropped), so ingestion can evict exactly the rows whose memory (or
+    last-update clock) changed without scanning the cache.
+    """
+
+    def __init__(self, capacity: int = 65536, time_resolution: float = 1e-6):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.time_resolution = time_resolution
+        self._rows: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._node_keys: dict[int, set[tuple[int, int]]] = {}
+
+    def key(self, node: int, t: float) -> tuple[int, int]:
+        return (int(node), int(round(t / self.time_resolution)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, key: tuple[int, int]) -> np.ndarray | None:
+        row = self._rows.get(key)
+        if row is not None:
+            self._rows.move_to_end(key)
+        return row
+
+    def put(self, key: tuple[int, int], row: np.ndarray) -> None:
+        if key in self._rows:
+            self._rows.move_to_end(key)
+            self._rows[key] = row
+            return
+        self._rows[key] = row
+        self._node_keys.setdefault(key[0], set()).add(key)
+        if len(self._rows) > self.capacity:
+            old_key, _ = self._rows.popitem(last=False)
+            keys = self._node_keys.get(old_key[0])
+            if keys is not None:
+                keys.discard(old_key)
+                if not keys:
+                    del self._node_keys[old_key[0]]
+
+    def invalidate_nodes(self, nodes: np.ndarray) -> int:
+        """Drop every cached row of the given nodes; returns drop count."""
+        dropped = 0
+        for node in np.asarray(nodes, dtype=np.int64).tolist():
+            keys = self._node_keys.pop(int(node), None)
+            if not keys:
+                continue
+            for key in keys:
+                if self._rows.pop(key, None) is not None:
+                    dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._node_keys.clear()
+
+
+@dataclass
+class PlannerStats:
+    """Counters for ``/stats`` and the serve benchmark."""
+
+    requests: int = 0
+    queries: int = 0          # individual (node, ts) rows requested
+    batches: int = 0          # batched encoder passes executed
+    coalesced: int = 0        # requests that shared a pass with others
+    deduped: int = 0          # rows answered by another row in the same pass
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_row(self) -> dict:
+        return {"requests": self.requests, "queries": self.queries,
+                "batches": self.batches, "coalesced": self.coalesced,
+                "deduped": self.deduped,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": round(self.cache_hit_rate, 4)}
+
+
+class _Pending:
+    """One caller's enqueued query, filled in by the executing leader."""
+
+    __slots__ = ("nodes", "ts", "done", "rows", "error")
+
+    def __init__(self, nodes: np.ndarray, ts: np.ndarray):
+        self.nodes = nodes
+        self.ts = ts
+        self.done = threading.Event()
+        self.rows: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class MicroBatchPlanner:
+    """Coalesce concurrent embedding queries into single encoder passes.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(nodes, ts) -> (K, D) ndarray`` — the batched embedding
+        kernel; called with the deduplicated union of pending queries,
+        under the planner's execution lock (never concurrently).
+    cache:
+        Optional :class:`EmbeddingLRU`; pass ``None`` to disable caching.
+    max_batch:
+        Upper bound on rows per encoder pass; excess queries run in the
+        next pass.
+    window:
+        Seconds the leader waits for followers before executing.  ``0``
+        executes immediately (still coalescing whatever is already
+        queued).
+    exec_lock:
+        Lock serialising cache + compute against out-of-band state
+        changes; the service passes its engine lock so ingestion and
+        query passes never interleave.
+    """
+
+    def __init__(self, compute, cache: EmbeddingLRU | None = None,
+                 max_batch: int = 4096, window: float = 0.0,
+                 exec_lock: threading.RLock | None = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self._compute = compute
+        self.cache = cache
+        self.max_batch = max_batch
+        self.window = window
+        self._lock = threading.Lock()
+        self._exec_lock = exec_lock if exec_lock is not None \
+            else threading.RLock()
+        self._queue: list[_Pending] = []
+        self._executing = False
+        self.stats = PlannerStats()
+
+    # ------------------------------------------------------------------
+    def embed(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Embedding rows for ``(nodes, ts)`` — thread-safe entry point."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.float64)
+        if nodes.shape != ts.shape or nodes.ndim != 1:
+            raise ValueError("nodes and ts must be equal-length 1-D arrays")
+        request = _Pending(nodes, ts)
+        with self._lock:
+            self._queue.append(request)
+            self.stats.requests += 1
+            self.stats.queries += len(nodes)
+            leader = not self._executing
+            if leader:
+                self._executing = True
+        if leader:
+            if self.window > 0:
+                # Give followers a beat to enqueue; they park on their
+                # own events, so this wait is the only added latency.
+                request.done.wait(self.window)
+            self._drain()
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.rows
+
+    def _drain(self) -> None:
+        """Leader loop: execute passes until the queue is empty."""
+        try:
+            while True:
+                with self._lock:
+                    if not self._queue:
+                        self._executing = False
+                        return
+                    batch = self._take_locked()
+                self._execute(batch)
+        except BaseException:
+            with self._lock:
+                self._executing = False
+            raise
+
+    def _take_locked(self) -> list[_Pending]:
+        """Pop requests until the pass reaches ``max_batch`` rows."""
+        taken: list[_Pending] = []
+        rows = 0
+        while self._queue:
+            need = len(self._queue[0].nodes)
+            if taken and rows + need > self.max_batch:
+                break
+            taken.append(self._queue.pop(0))
+            rows += need
+        return taken
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        """One coalesced pass: dedup, consult cache, compute, distribute."""
+        if len(batch) > 1:
+            self.stats.coalesced += len(batch)
+        all_nodes = np.concatenate([r.nodes for r in batch])
+        all_ts = np.concatenate([r.ts for r in batch])
+        try:
+            rows = self._answer(all_nodes, all_ts)
+        except BaseException as exc:
+            for request in batch:
+                request.error = exc
+                request.done.set()
+            return
+        self.stats.batches += 1
+        offset = 0
+        for request in batch:
+            request.rows = rows[offset:offset + len(request.nodes)]
+            offset += len(request.nodes)
+            request.done.set()
+
+    def _answer(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """Rows for possibly-duplicated queries, via cache + one compute."""
+        with self._exec_lock:
+            return self._answer_locked(nodes, ts)
+
+    def _answer_locked(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        if len(nodes) == 0:
+            return self._compute(nodes, ts)
+        cache = self.cache
+        if cache is None:
+            return self._compute(nodes, ts)
+        keys = [cache.key(n, t) for n, t in zip(nodes.tolist(), ts.tolist())]
+        order: dict[tuple[int, int], int] = {}
+        miss_rows: list[int] = []
+        cached: dict[tuple[int, int], np.ndarray] = {}
+        for i, key in enumerate(keys):
+            if key in order or key in cached:
+                self.stats.deduped += 1
+                continue
+            row = cache.get(key)
+            if row is None:
+                order[key] = i
+                miss_rows.append(i)
+                self.stats.cache_misses += 1
+            else:
+                cached[key] = row
+                self.stats.cache_hits += 1
+        if miss_rows:
+            fresh = self._compute(nodes[miss_rows], ts[miss_rows])
+            for j, i in enumerate(miss_rows):
+                # Copy: a view would pin the whole pass's result array in
+                # the cache for as long as any one row survives.
+                row = fresh[j].copy()
+                cached[keys[i]] = row
+                cache.put(keys[i], row)
+        return np.stack([cached[key] for key in keys])
+
+    def invalidate(self, nodes: np.ndarray) -> int:
+        """Evict cached rows for ``nodes`` (called by ingestion)."""
+        if self.cache is None:
+            return 0
+        with self._exec_lock:
+            return self.cache.invalidate_nodes(nodes)

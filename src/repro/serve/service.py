@@ -1,0 +1,361 @@
+"""`EmbeddingService`: a pre-training artifact turned long-lived query
+engine.
+
+``EmbeddingService.from_artifact(path)`` reconstructs the frozen encoder
+(+ sparse memory engine) a :class:`~repro.api.artifact.PretrainArtifact`
+describes and serves three query families over it:
+
+* ``embed(nodes, ts)`` — temporal embeddings ``z_i^t`` at query time,
+  batched through the :class:`~repro.serve.planner.MicroBatchPlanner`
+  (coalescing + node-keyed LRU);
+* ``score_links(src, dst, ts)`` — link affinity, via the artifact's
+  fine-tuned head (+ EIE enhancement) when one rode along in a format-v2
+  artifact, else embedding dot products;
+* ``top_k(src, t, k)`` — ranked retrieval over a candidate set, reusing
+  :func:`repro.tasks.ranking.top_k_from_scores`.
+
+``ingest(...)`` feeds live events through the
+:class:`~repro.serve.ingest.LiveIngestor`: the
+:class:`~repro.serve.dynamic_finder.DynamicNeighborFinder` grows
+append-only, the memory advances through the PR-3 sparse-delta staging
+path, and exactly the touched cache rows are invalidated.  Serve-time
+ingestion is replay-equivalent — embeddings after ingesting a suffix are
+bit-identical to an offline replay over the concatenated stream (asserted
+in ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..api.artifact import PretrainArtifact, stream_fingerprint
+from ..api.data import resolve_data
+from ..core.eie import EIEModule
+from ..core.pretext import LinkPredictionHead
+from ..dgnn.encoder import make_encoder
+from ..graph.events import EventStream
+from ..graph.neighbor_finder import NeighborFinder
+from ..nn.autograd import Tensor, default_dtype, no_grad
+from ..tasks.ranking import top_k_from_scores
+from .dynamic_finder import DynamicNeighborFinder
+from .ingest import LiveIngestor
+from .planner import EmbeddingLRU, MicroBatchPlanner
+
+__all__ = ["ServeConfig", "ServeError", "EmbeddingService"]
+
+
+class ServeError(RuntimeError):
+    """The service cannot be built or a query is malformed."""
+
+
+@dataclass
+class ServeConfig:
+    """Runtime knobs of one serving replica."""
+
+    cache_capacity: int = 65536          # embedding LRU rows; 0 disables
+    time_resolution: float = 1e-6        # cache-key timestamp quantum
+    max_batch: int = 4096                # rows per coalesced encoder pass
+    window: float = 0.0                  # micro-batch coalescing wait (s)
+    compaction_threshold: int = 4096     # delta events before CSR merge
+    verify_fingerprint: bool = True      # history must match the artifact
+    use_finetuned: bool | None = None    # None = auto (when bundle exists)
+
+    def validate(self) -> None:
+        if self.cache_capacity < 0:
+            raise ServeError("cache_capacity must be >= 0")
+        if self.max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if self.window < 0:
+            raise ServeError("window must be >= 0")
+
+
+class EmbeddingService:
+    """Online embedding / link-score serving over one artifact.
+
+    Parameters
+    ----------
+    artifact:
+        The pre-training artifact (in memory; use :meth:`from_artifact`
+        for a path).
+    history:
+        The event stream the artifact was pre-trained on — the service's
+        initial temporal adjacency.  Resolved from the artifact's
+        embedded data config when omitted.
+    config:
+        :class:`ServeConfig` runtime knobs.
+    """
+
+    def __init__(self, artifact: PretrainArtifact,
+                 history: EventStream | None = None,
+                 config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.config.validate()
+        self.artifact = artifact
+        if history is None:
+            history = resolve_data(artifact.run_config.data).pretrain
+        if self.config.verify_fingerprint and artifact.dataset_fingerprint:
+            fingerprint = stream_fingerprint(history)
+            # v1 artifacts recorded the legacy topology-only hash, so a
+            # feature-bearing history must also be accepted under it.
+            legacy = (stream_fingerprint(history, include_payloads=False)
+                      if artifact.format_version < 2 else fingerprint)
+            if artifact.dataset_fingerprint not in (fingerprint, legacy):
+                raise ServeError(
+                    f"history stream fingerprint {fingerprint} does not "
+                    f"match the artifact's {artifact.dataset_fingerprint}; "
+                    "pass the pre-training stream (or disable "
+                    "verify_fingerprint)")
+        if history.num_nodes > artifact.num_nodes:
+            raise ServeError(
+                f"history node space ({history.num_nodes}) exceeds the "
+                f"artifact's ({artifact.num_nodes})")
+        if history.num_nodes < artifact.num_nodes:
+            # Widen the finder to the artifact's node space so later
+            # ingestion may introduce ids the history never used.
+            history = dataclasses.replace(history,
+                                          num_nodes=artifact.num_nodes)
+
+        run_config = artifact.run_config
+        pretrain_cfg = run_config.pretrain
+        self.backbone = run_config.backbone
+        self._dtype = pretrain_cfg.np_dtype
+        bundle = artifact.finetuned
+        use_ft = self.config.use_finetuned
+        if use_ft is None:
+            use_ft = bundle is not None
+        if use_ft and bundle is None:
+            raise ServeError("use_finetuned=True but the artifact carries "
+                             "no fine-tuned bundle (format v1?)")
+        self.serves_finetuned = bool(use_ft)
+
+        with default_dtype(self._dtype):
+            rng = np.random.default_rng(pretrain_cfg.seed)
+            encoder = make_encoder(
+                self.backbone, artifact.num_nodes, rng,
+                memory_dim=pretrain_cfg.memory_dim,
+                embed_dim=pretrain_cfg.embed_dim,
+                time_dim=pretrain_cfg.time_dim,
+                edge_dim=pretrain_cfg.edge_dim,
+                n_neighbors=pretrain_cfg.n_neighbors,
+                n_layers=pretrain_cfg.n_layers,
+                delta_scale=artifact.delta_scale,
+                memory_engine=pretrain_cfg.memory_engine,
+                dtype=pretrain_cfg.np_dtype)
+            encoder.load_state_dict(bundle.encoder_state if use_ft
+                                    else artifact.result.encoder_state)
+            encoder.load_memory(artifact.result.memory_state,
+                                artifact.result.last_update)
+            self._head: LinkPredictionHead | None = None
+            self._eie: EIEModule | None = None
+            if use_ft:
+                self._load_head(bundle, rng)
+
+        self.finder = DynamicNeighborFinder(
+            NeighborFinder(history),
+            compaction_threshold=self.config.compaction_threshold)
+        encoder.attach(history, self.finder)
+        self.encoder = encoder
+        self._candidates = np.unique(history.dst)
+        self._lock = threading.RLock()
+        edge_table = (encoder._edge_feats
+                      if isinstance(encoder._edge_feats, np.ndarray) else None)
+        self._ingestor = LiveIngestor(encoder, self.finder,
+                                      edge_feats=edge_table)
+        cache = None
+        if self.config.cache_capacity:
+            cache = EmbeddingLRU(self.config.cache_capacity,
+                                 time_resolution=self.config.time_resolution)
+        self.planner = MicroBatchPlanner(
+            self._compute_rows, cache=cache,
+            max_batch=self.config.max_batch, window=self.config.window,
+            exec_lock=self._lock)
+
+    def _load_head(self, bundle, rng: np.random.Generator) -> None:
+        """Rebuild the fine-tuned scoring head (+ EIE) from the bundle."""
+        if bundle.task != "link_prediction":
+            return  # node-classification heads do not score links
+        run_config = self.artifact.run_config
+        eie_dim = 0
+        if bundle.eie_state is not None:
+            fuser = bundle.strategy.split("-", 1)[1] \
+                if bundle.strategy.startswith("eie-") else "gru"
+            checkpoints = self.artifact.result.checkpoints
+            if len(checkpoints) == 0:
+                raise ServeError("artifact bundle expects EIE but carries "
+                                 "no memory checkpoints")
+            self._eie = EIEModule(checkpoints, fuser,
+                                  out_dim=run_config.finetune.eie_out_dim,
+                                  rng=rng)
+            self._eie.load_state_dict(bundle.eie_state)
+            eie_dim = self._eie.out_dim
+        self._head = LinkPredictionHead(
+            run_config.pretrain.embed_dim + eie_dim, rng)
+        self._head.load_state_dict(bundle.head_state)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, artifact: PretrainArtifact | str,
+                      history: EventStream | None = None,
+                      config: ServeConfig | None = None,
+                      **knobs) -> "EmbeddingService":
+        """Build a service from a saved (or in-memory) artifact.
+
+        ``knobs`` are :class:`ServeConfig` field overrides, e.g.
+        ``from_artifact(path, cache_capacity=0, window=0.002)``.
+        """
+        if isinstance(artifact, str):
+            artifact = PretrainArtifact.load(artifact)
+        if knobs:
+            config = dataclasses.replace(config if config is not None
+                                         else ServeConfig(), **knobs)
+        return cls(artifact, history=history, config=config)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _compute_rows(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """The planner's batched kernel: one encoder pass, detached rows."""
+        if len(nodes) == 0:
+            return np.zeros((0, self.encoder.embed_dim), dtype=self._dtype)
+        with default_dtype(self._dtype), no_grad():
+            z = self.encoder.compute_embedding(nodes, ts)
+            # Persist the flush of any pending ingested messages so the
+            # store (and every later query) sees the advanced memory.
+            self.encoder.end_batch()
+        return np.asarray(z.data)
+
+    def _query_arrays(self, nodes, ts) -> tuple[np.ndarray, np.ndarray]:
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        ts_arr = np.asarray(ts, dtype=np.float64)
+        if ts_arr.ndim == 0:
+            ts_arr = np.full(len(nodes), float(ts_arr))
+        if nodes.shape != ts_arr.shape:
+            raise ServeError("nodes and ts must have matching shapes "
+                             "(or pass a scalar ts)")
+        if len(nodes) and (nodes.min() < 0
+                           or nodes.max() >= self.artifact.num_nodes):
+            raise ServeError(f"node ids must lie in "
+                             f"[0, {self.artifact.num_nodes})")
+        return nodes, ts_arr
+
+    def embed(self, nodes, ts) -> np.ndarray:
+        """Temporal embeddings ``z_i^t`` — ``(len(nodes), embed_dim)``.
+
+        ``ts`` may be a scalar (applied to every node) or a per-node
+        array.  Concurrent callers coalesce into one encoder pass.
+        """
+        nodes, ts = self._query_arrays(nodes, ts)
+        return self.planner.embed(nodes, ts)
+
+    def _enhanced(self, rows: np.ndarray, nodes: np.ndarray) -> Tensor:
+        """Apply the EIE side-vector when the fine-tuned head expects it."""
+        z = Tensor(rows)
+        if self._eie is not None:
+            z = self._eie(z, nodes)
+        return z
+
+    def score_links(self, src, dst, ts) -> np.ndarray:
+        """Link scores for aligned ``(src, dst)`` pairs at time(s) ``ts``.
+
+        With a fine-tuned head (artifact v2) this is the head's logit —
+        the same score fine-tuned evaluation ranks with; otherwise the
+        embedding dot product.
+        """
+        src, ts = self._query_arrays(src, ts)
+        if len(np.atleast_1d(np.asarray(dst))) != len(src):
+            raise ServeError("src and dst must have equal length")
+        dst, _ = self._query_arrays(dst, ts)
+        rows = self.planner.embed(np.concatenate([src, dst]),
+                                  np.concatenate([ts, ts]))
+        z_src, z_dst = rows[:len(src)], rows[len(src):]
+        if self._head is None:
+            return np.sum(z_src * z_dst, axis=1)
+        with default_dtype(self._dtype), no_grad(), self._lock:
+            scores = self._head.score(self._enhanced(z_src, src),
+                                      self._enhanced(z_dst, dst))
+        return np.asarray(scores.data, dtype=np.float64)
+
+    def top_k(self, src: int, t: float, k: int,
+              candidates: np.ndarray | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` highest-scoring destinations for ``src`` at ``t``.
+
+        ``candidates`` defaults to every destination observed so far
+        (history + ingested events).  Returns ``(node_ids, scores)``,
+        best first.
+        """
+        if candidates is None:
+            candidates = self._candidates
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if len(candidates) == 0:
+            raise ServeError("no candidate destinations to rank")
+        scores = self.score_links(np.full(len(candidates), int(src)),
+                                  candidates, float(t))
+        return top_k_from_scores(candidates, scores, k)
+
+    # ------------------------------------------------------------------
+    # live ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: EventStream | None = None, *,
+               src=None, dst=None, timestamps=None, edge_feats=None,
+               block_size: int | None = None) -> int:
+        """Ingest new events (an :class:`EventStream` or raw arrays).
+
+        Appends to the dynamic adjacency, advances the memory through the
+        sparse-delta staging path and invalidates exactly the cache rows
+        whose state changed.  Returns the number of events ingested.
+        """
+        # The configured dtype must wrap the flush math so serve-time
+        # ingestion stays bit-identical to an offline replay.
+        with self._lock, default_dtype(self._dtype):
+            if events is not None:
+                touched = self._ingestor.ingest_stream(events,
+                                                       block_size=block_size)
+                count = events.num_events
+                new_dst = events.dst
+            else:
+                if src is None or dst is None or timestamps is None:
+                    raise ServeError("ingest needs an EventStream or "
+                                     "src/dst/timestamps arrays")
+                touched = self._ingestor.ingest(src, dst, timestamps,
+                                                edge_feats=edge_feats)
+                count = len(np.atleast_1d(src))
+                new_dst = np.asarray(dst, dtype=np.int64)
+            if count:
+                self._candidates = np.union1d(self._candidates, new_dst)
+                self.planner.invalidate(touched)
+        return count
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One JSON-able snapshot for ``/stats`` and the benchmarks."""
+        with self._lock:
+            cache = self.planner.cache
+            return {
+                "backbone": self.backbone,
+                "num_nodes": int(self.artifact.num_nodes),
+                "embed_dim": int(self.encoder.embed_dim),
+                # Width ingested edge_feats must have (0: send none).
+                "ingest_edge_dim": (
+                    self._ingestor.edge_feats.shape[1]
+                    if self._ingestor.edge_feats is not None else 0),
+                "dtype": str(np.dtype(self._dtype)),
+                "scorer": ("finetuned-head" if self._head is not None
+                           else "dot-product"),
+                "graph": {
+                    "num_events": int(self.finder.num_events),
+                    "delta_events": int(self.finder.delta_events),
+                    "compactions": int(self.finder.compactions),
+                },
+                "planner": self.planner.stats.as_row(),
+                "cache_rows": 0 if cache is None else len(cache),
+                "ingest": self._ingestor.stats.as_row(),
+            }

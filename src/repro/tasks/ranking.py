@@ -13,7 +13,33 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["RankingMetrics", "reciprocal_ranks", "mean_reciprocal_rank",
-           "recall_at_k", "hits_at_k", "summarize_ranks"]
+           "recall_at_k", "hits_at_k", "summarize_ranks",
+           "top_k_from_scores"]
+
+
+def top_k_from_scores(candidates: np.ndarray, scores: np.ndarray,
+                      k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` best candidates by score, best first.
+
+    Ties break toward the lower candidate id (stable and deterministic —
+    the property the serving layer's HTTP round-trip tests rely on).
+    Returns ``(top_candidates, top_scores)``; fewer rows when there are
+    fewer candidates than ``k``.
+    """
+    candidates = np.asarray(candidates)
+    scores = np.asarray(scores, dtype=np.float64)
+    if candidates.shape != scores.shape or candidates.ndim != 1:
+        raise ValueError("candidates and scores must be equal-length 1-D")
+    if k < 1:
+        raise ValueError("k must be positive")
+    k = min(k, len(candidates))
+    if k == 0:
+        return candidates[:0], scores[:0]
+    # Full lexsort (not argpartition): selection at the k boundary must
+    # itself be tie-stable, or replicas with reordered candidate arrays
+    # would serve different top-k sets for identical queries.
+    order = np.lexsort((candidates, -scores))[:k]
+    return candidates[order], scores[order]
 
 
 def reciprocal_ranks(positive_scores: np.ndarray,

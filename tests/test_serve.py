@@ -1,0 +1,663 @@
+"""The `repro.serve` subsystem: dynamic adjacency, replay-equivalent
+ingestion, the query planner/cache, the HTTP frontend, and artifact v2.
+
+The load-bearing guarantees:
+
+* every `DynamicNeighborFinder` query is bit-identical to a
+  `NeighborFinder` rebuilt from scratch over the concatenated events —
+  before *and* after compaction — so the PR-2 samplers and PR-4
+  `produce_batch` run unchanged on a live graph;
+* `EmbeddingService.embed` after `ingest` is bit-identical to an offline
+  encoder that replayed the concatenated stream (dense and sparse memory
+  engines, all three backbones);
+* format-v2 artifacts round-trip the fine-tuned bundle and still read
+  v1 files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (ARTIFACT_FORMAT_VERSION, FineTunedBundle, Pipeline,
+                       PretrainArtifact, RunConfig, stream_fingerprint)
+from repro.api.config import DataConfig
+from repro.core import CPDGConfig
+from repro.core.pretrainer import CPDGPreTrainer
+from repro.core.samplers import EpsilonDFSSampler, EtaBFSSampler
+from repro.dgnn.encoder import make_encoder
+from repro.graph.batching import EventBatch
+from repro.graph.events import EventStream
+from repro.graph.neighbor_finder import NeighborFinder
+from repro.nn.autograd import default_dtype, no_grad
+from repro.serve import (DynamicNeighborFinder, EmbeddingLRU,
+                         EmbeddingService, HttpClient, IngestError,
+                         LocalClient, MicroBatchPlanner, ServeError,
+                         start_http_server)
+from repro.stream import ProducerSpec, SamplingContext, produce_batch
+from repro.tasks import FineTuneConfig
+from repro.tasks.ranking import top_k_from_scores
+
+NUM_NODES = 60
+PRETRAIN_EVENTS = 260
+SUFFIX_EVENTS = 120
+
+
+def make_split_stream(seed: int = 3, edge_dim: int = 0):
+    """A bipartite stream split into (full, pretrain prefix, live suffix)."""
+    rng = np.random.default_rng(seed)
+    total = PRETRAIN_EVENTS + SUFFIX_EVENTS
+    feats = (rng.normal(size=(total, edge_dim)) if edge_dim else None)
+    full = EventStream(
+        src=rng.integers(0, NUM_NODES // 2, total),
+        dst=rng.integers(NUM_NODES // 2, NUM_NODES, total),
+        timestamps=np.sort(rng.uniform(0.0, 100.0, total)),
+        num_nodes=NUM_NODES, edge_feats=feats, name="serve-test")
+    return (full, full.slice_index(0, PRETRAIN_EVENTS),
+            full.slice_index(PRETRAIN_EVENTS, total))
+
+
+def tiny_config(backbone: str = "tgn", engine: str = "sparse",
+                edge_dim: int = 0) -> RunConfig:
+    return RunConfig(backbone=backbone, pretrain=CPDGConfig(
+        epochs=1, batch_size=90, memory_dim=8, embed_dim=8, time_dim=4,
+        edge_dim=edge_dim, n_neighbors=5, num_checkpoints=2, seed=0,
+        memory_engine=engine))
+
+
+def pretrain_artifact(stream: EventStream, config: RunConfig
+                      ) -> PretrainArtifact:
+    trainer = CPDGPreTrainer.from_backbone(
+        config.backbone, stream.num_nodes, config.pretrain, delta_scale=1.0)
+    result = trainer.pretrain(stream)
+    return PretrainArtifact(
+        result=result, run_config=config, num_nodes=stream.num_nodes,
+        delta_scale=1.0, dataset_fingerprint=stream_fingerprint(stream),
+        dataset_name=stream.name)
+
+
+def offline_replay_embed(artifact: PretrainArtifact, full: EventStream,
+                         suffix: EventStream, nodes, ts,
+                         block: int = 40) -> np.ndarray:
+    """The reference: replay the suffix offline over the full stream."""
+    config = artifact.run_config.pretrain
+    start_id = full.num_events - suffix.num_events
+    with default_dtype(config.np_dtype):
+        encoder = make_encoder(
+            artifact.backbone, artifact.num_nodes,
+            np.random.default_rng(config.seed),
+            memory_dim=config.memory_dim, embed_dim=config.embed_dim,
+            time_dim=config.time_dim, edge_dim=config.edge_dim,
+            n_neighbors=config.n_neighbors, n_layers=config.n_layers,
+            delta_scale=artifact.delta_scale,
+            memory_engine=config.memory_engine, dtype=config.np_dtype)
+        encoder.load_state_dict(artifact.result.encoder_state)
+        encoder.load_memory(artifact.result.memory_state,
+                            artifact.result.last_update)
+        encoder.attach(full)
+        with no_grad():
+            for lo in range(0, suffix.num_events, block):
+                hi = min(lo + block, suffix.num_events)
+                batch = EventBatch(
+                    src=suffix.src[lo:hi], dst=suffix.dst[lo:hi],
+                    timestamps=suffix.timestamps[lo:hi],
+                    neg_dst=np.empty(0, dtype=np.int64),
+                    event_ids=np.arange(start_id + lo, start_id + hi))
+                encoder.flush_messages()
+                encoder.register_batch(batch)
+                encoder.end_batch()
+            z = encoder.compute_embedding(nodes, ts)
+    return np.asarray(z.data)
+
+
+# ======================================================================
+# DynamicNeighborFinder: delta vs compacted vs rebuilt-from-scratch
+# ======================================================================
+
+class TestDynamicNeighborFinder:
+
+    def _grown(self, seed: int, chunk: int, threshold=None):
+        full, pre, suffix = make_split_stream(seed)
+        dyn = DynamicNeighborFinder(pre, compaction_threshold=threshold)
+        for lo in range(0, suffix.num_events, chunk):
+            hi = min(lo + chunk, suffix.num_events)
+            dyn.append(suffix.src[lo:hi], suffix.dst[lo:hi],
+                       suffix.timestamps[lo:hi])
+        return NeighborFinder(full), dyn
+
+    def _assert_equivalent(self, ref: NeighborFinder,
+                           dyn: DynamicNeighborFinder, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        nodes = rng.integers(0, NUM_NODES, 300)
+        ts = rng.uniform(0.0, 130.0, 300)
+        r_starts, r_ends = ref.batch_before(nodes, ts)
+        d_starts, d_ends = dyn.batch_before(nodes, ts)
+        np.testing.assert_array_equal(r_starts, d_starts)
+        np.testing.assert_array_equal(r_ends, d_ends)
+        np.testing.assert_array_equal(np.asarray(ref.indptr),
+                                      np.asarray(dyn.indptr))
+        # The flat-index contract: dereferencing the cut range through the
+        # virtual columns yields the rebuilt finder's slices.
+        flat = np.concatenate([np.arange(a, b)
+                               for a, b in zip(r_starts, r_ends)])
+        for name in ("neighbors", "times", "event_ids"):
+            np.testing.assert_array_equal(
+                np.asarray(getattr(ref, name))[flat],
+                getattr(dyn, name)[flat], err_msg=name)
+        for count in (1, 4, 9):
+            expected = ref.batch_most_recent(nodes, ts, count)
+            actual = dyn.batch_most_recent(nodes, ts, count)
+            for exp, act in zip(expected, actual):
+                np.testing.assert_array_equal(exp, act)
+        expected = ref.batch_sample_uniform(nodes, ts, 6,
+                                            np.random.default_rng(99))
+        actual = dyn.batch_sample_uniform(nodes, ts, 6,
+                                          np.random.default_rng(99))
+        for exp, act in zip(expected, actual):
+            np.testing.assert_array_equal(exp, act)
+        for cut in (0, PRETRAIN_EVENTS // 2, PRETRAIN_EVENTS,
+                    PRETRAIN_EVENTS + SUFFIX_EVENTS):
+            np.testing.assert_array_equal(
+                ref.batch_last_update(nodes, cut),
+                dyn.batch_last_update(nodes, cut))
+        base = np.random.default_rng(1).uniform(0, 5, NUM_NODES)
+        np.testing.assert_array_equal(
+            ref.batch_last_update(nodes, PRETRAIN_EVENTS + 10, base=base),
+            dyn.batch_last_update(nodes, PRETRAIN_EVENTS + 10, base=base))
+        for node in range(0, NUM_NODES, 11):
+            for t in (0.0, 50.0, 99.0, 200.0):
+                for exp, act in zip(ref.before(node, t), dyn.before(node, t)):
+                    np.testing.assert_array_equal(exp, act)
+                for exp, act in zip(ref.most_recent(node, t, 3),
+                                    dyn.most_recent(node, t, 3)):
+                    np.testing.assert_array_equal(exp, act)
+                assert ref.degree(node, t) == dyn.degree(node, t)
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    @pytest.mark.parametrize("chunk", [1, 17, SUFFIX_EVENTS])
+    def test_delta_queries_match_rebuilt_finder(self, seed, chunk):
+        ref, dyn = self._grown(seed, chunk, threshold=None)
+        assert dyn.delta_events == SUFFIX_EVENTS  # never compacted
+        self._assert_equivalent(ref, dyn, seed)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_compacted_queries_match_rebuilt_finder(self, seed):
+        ref, dyn = self._grown(seed, 17, threshold=None)
+        dyn.compact()
+        assert dyn.delta_events == 0 and dyn.compactions == 1
+        self._assert_equivalent(ref, dyn, seed)
+        for name in ("indptr", "neighbors", "times", "event_ids"):
+            np.testing.assert_array_equal(np.asarray(getattr(ref, name)),
+                                          np.asarray(getattr(dyn, name)))
+
+    def test_auto_compaction_threshold(self):
+        _, dyn = self._grown(0, 17, threshold=50)
+        assert dyn.compactions >= 1
+        assert dyn.delta_events < 50
+
+    def test_samplers_run_unchanged_on_live_graph(self):
+        ref, dyn = self._grown(5, 13, threshold=None)
+        rng = np.random.default_rng(5)
+        roots = rng.integers(0, NUM_NODES, 40)
+        ts = rng.uniform(10.0, 130.0, 40)
+        for kwargs in (dict(probability="chronological"),
+                       dict(probability="reverse")):
+            exp = EtaBFSSampler(ref, 4, 2, **kwargs).sample_batch(
+                roots, ts, rng=np.random.default_rng(11))
+            act = EtaBFSSampler(dyn, 4, 2, **kwargs).sample_batch(
+                roots, ts, rng=np.random.default_rng(11))
+            np.testing.assert_array_equal(exp.nodes, act.nodes)
+            np.testing.assert_array_equal(exp.indptr, act.indptr)
+        exp = EpsilonDFSSampler(ref, 4, 2).sample_batch(roots, ts)
+        act = EpsilonDFSSampler(dyn, 4, 2).sample_batch(roots, ts)
+        np.testing.assert_array_equal(exp.nodes, act.nodes)
+        np.testing.assert_array_equal(exp.indptr, act.indptr)
+
+    def test_produce_batch_runs_unchanged_on_live_graph(self):
+        full, _, _ = make_split_stream(4)
+        ref, dyn = self._grown(4, 29, threshold=None)
+        spec = ProducerSpec(batch_size=50, seed=0, sample_temporal=True,
+                            sample_structural=True, eta=4, epsilon=4,
+                            depth=2, compute_messages=True, stream=full)
+        items = list(spec.make_plan(full.num_events))
+        ctx_ref = SamplingContext(spec, stream=full, finder=ref)
+        ctx_dyn = SamplingContext(spec, stream=full, finder=dyn)
+        for item in items[:3]:
+            expected = produce_batch(ctx_ref, item)
+            actual = produce_batch(ctx_dyn, item)
+            np.testing.assert_array_equal(expected.batch.neg_dst,
+                                          actual.batch.neg_dst)
+            for attr in ("temporal_pos", "temporal_neg",
+                         "structural_pos", "structural_neg"):
+                exp, act = getattr(expected, attr), getattr(actual, attr)
+                np.testing.assert_array_equal(exp.nodes, act.nodes)
+                np.testing.assert_array_equal(exp.indptr, act.indptr)
+            np.testing.assert_array_equal(expected.messages.delta_t,
+                                          actual.messages.delta_t)
+
+    def test_append_validation(self):
+        _, pre, _ = make_split_stream(0)
+        dyn = DynamicNeighborFinder(pre)
+        t_next = pre.t_max + 1.0
+        with pytest.raises(IngestError):
+            dyn.append([1], [NUM_NODES], [t_next])        # out of node space
+        with pytest.raises(IngestError):
+            dyn.append([1], [2], [pre.t_max - 5.0])       # time regression
+        with pytest.raises(IngestError):
+            dyn.append([1, 2], [3, 4], [t_next + 1, t_next])  # unsorted
+        with pytest.raises(IngestError):
+            dyn.append([1], [2], [t_next], event_ids=[999])   # id gap
+        assert dyn.num_events == PRETRAIN_EVENTS
+
+    def test_export_compacts_first(self, tmp_path):
+        ref, dyn = self._grown(0, 17, threshold=None)
+        dyn.export(str(tmp_path / "shards"))
+        reopened = NeighborFinder.open(str(tmp_path / "shards"), mmap=False)
+        for name in ("indptr", "neighbors", "times", "event_ids"):
+            np.testing.assert_array_equal(np.asarray(getattr(ref, name)),
+                                          np.asarray(getattr(reopened, name)))
+
+
+# ======================================================================
+# EmbeddingService: frozen-artifact queries + replay equivalence
+# ======================================================================
+
+class TestEmbeddingService:
+
+    @pytest.mark.parametrize("backbone", ["tgn", "jodie", "dyrep"])
+    def test_embed_matches_offline_encoder(self, backbone):
+        """No ingestion: served rows == a frozen offline encoder's."""
+        _, pre, _ = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config(backbone))
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        nodes = np.arange(0, NUM_NODES, 4)
+        ts = np.full(len(nodes), pre.t_max + 1.0)
+        served = service.embed(nodes, ts)
+        config = artifact.run_config.pretrain
+        with default_dtype(config.np_dtype):
+            encoder = make_encoder(
+                backbone, NUM_NODES, np.random.default_rng(config.seed),
+                memory_dim=config.memory_dim, embed_dim=config.embed_dim,
+                time_dim=config.time_dim, edge_dim=config.edge_dim,
+                n_neighbors=config.n_neighbors, n_layers=config.n_layers,
+                delta_scale=1.0, memory_engine=config.memory_engine,
+                dtype=config.np_dtype)
+            encoder.load_state_dict(artifact.result.encoder_state)
+            encoder.load_memory(artifact.result.memory_state,
+                                artifact.result.last_update)
+            encoder.attach(pre)
+            with no_grad():
+                offline = np.asarray(
+                    encoder.compute_embedding(nodes, ts).data)
+        np.testing.assert_array_equal(served, offline)
+
+    @pytest.mark.parametrize("backbone", ["tgn", "jodie", "dyrep"])
+    @pytest.mark.parametrize("engine", ["sparse", "dense"])
+    def test_ingest_replay_equivalence(self, backbone, engine):
+        """The acceptance criterion: serve-time ingestion == offline
+        replay over the concatenated stream, bit for bit."""
+        full, pre, suffix = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config(backbone, engine))
+        service = EmbeddingService.from_artifact(
+            artifact, history=pre, compaction_threshold=50)
+        service.ingest(suffix, block_size=40)
+        nodes = np.arange(NUM_NODES)
+        ts = np.full(NUM_NODES, full.t_max + 5.0)
+        served = service.embed(nodes, ts)
+        offline = offline_replay_embed(artifact, full, suffix, nodes, ts)
+        np.testing.assert_array_equal(served, offline)
+
+    def test_ingest_replay_equivalence_with_edge_features(self):
+        full, pre, suffix = make_split_stream(9, edge_dim=3)
+        artifact = pretrain_artifact(pre, tiny_config("tgn", edge_dim=3))
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        service.ingest(suffix, block_size=30)
+        nodes = np.arange(0, NUM_NODES, 2)
+        ts = np.full(len(nodes), full.t_max + 1.0)
+        offline = offline_replay_embed(artifact, full, suffix, nodes, ts,
+                                       block=30)
+        np.testing.assert_array_equal(service.embed(nodes, ts), offline)
+
+    def test_featured_service_requires_edge_feats_on_ingest(self):
+        _, pre, suffix = make_split_stream(9, edge_dim=3)
+        artifact = pretrain_artifact(pre, tiny_config("tgn", edge_dim=3))
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        with pytest.raises(IngestError):
+            service.ingest(src=suffix.src[:2], dst=suffix.dst[:2],
+                           timestamps=suffix.timestamps[:2])
+
+    def test_fingerprint_mismatch_rejected(self):
+        _, pre, suffix = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config())
+        with pytest.raises(ServeError):
+            EmbeddingService.from_artifact(artifact, history=suffix)
+        service = EmbeddingService.from_artifact(
+            artifact, history=suffix, verify_fingerprint=False)
+        assert service.stats()["graph"]["num_events"] == suffix.num_events
+
+    def test_score_links_dot_product_and_top_k(self):
+        _, pre, _ = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config())
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        t = pre.t_max + 1.0
+        src = np.array([0, 1, 2])
+        dst = np.array([40, 41, 42])
+        scores = service.score_links(src, dst, t)
+        rows = service.embed(np.concatenate([src, dst]), t)
+        np.testing.assert_allclose(
+            scores, np.sum(rows[:3] * rows[3:], axis=1), rtol=1e-6)
+        ids, top_scores = service.top_k(0, t, 5)
+        assert len(ids) == 5
+        assert np.all(np.diff(top_scores) <= 0)
+        # Candidates default to observed destinations (bipartite upper half).
+        assert set(ids.tolist()) <= set(np.unique(pre.dst).tolist())
+        exhaustive = service.score_links(np.zeros(len(np.unique(pre.dst)),
+                                                  dtype=np.int64),
+                                         np.unique(pre.dst), t)
+        assert top_scores[0] == pytest.approx(exhaustive.max())
+
+    def test_cache_hits_and_touched_row_invalidation(self):
+        """Per-touched-row LRU invalidation (exact for JODIE, whose
+        embedding depends only on the node's own row + clock)."""
+        _, pre, suffix = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config("jodie"))
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        t = pre.t_max + 1.0
+        nodes = np.arange(0, 10)
+        first = service.embed(nodes, t)
+        assert service.planner.stats.cache_misses == 10
+        second = service.embed(nodes, t)
+        np.testing.assert_array_equal(first, second)
+        assert service.planner.stats.cache_hits == 10
+
+        touched_src = int(suffix.src[0])
+        touched_dst = int(suffix.dst[0])
+        service.ingest(src=[touched_src], dst=[touched_dst],
+                       timestamps=[suffix.timestamps[0]])
+        cache = service.planner.cache
+        assert all(key[0] != touched_src for key in cache._rows)
+        untouched = [n for n in nodes if n not in (touched_src, touched_dst)]
+        assert any(key[0] == untouched[0] for key in cache._rows)
+
+        # Recomputation after invalidation equals a cache-less replica.
+        refreshed = service.embed([touched_src], t + 1.0)[0]
+        bare = EmbeddingService.from_artifact(artifact, history=pre,
+                                              cache_capacity=0)
+        bare.ingest(src=[touched_src], dst=[touched_dst],
+                    timestamps=[suffix.timestamps[0]])
+        np.testing.assert_array_equal(
+            refreshed, bare.embed([touched_src], t + 1.0)[0])
+
+    def test_query_validation(self):
+        _, pre, _ = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config())
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        with pytest.raises(ServeError):
+            service.embed([NUM_NODES + 3], 10.0)
+        with pytest.raises(ServeError):
+            service.score_links([1, 2], [3], 10.0)
+        with pytest.raises(ServeError):
+            service.ingest()
+
+
+# ======================================================================
+# Planner / cache units
+# ======================================================================
+
+class TestPlanner:
+
+    def test_lru_eviction_and_node_index(self):
+        cache = EmbeddingLRU(capacity=3)
+        for i in range(4):
+            cache.put((i, 0), np.full(2, float(i)))
+        assert len(cache) == 3
+        assert cache.get((0, 0)) is None          # evicted (oldest)
+        assert cache.get((3, 0))[0] == 3.0
+        cache.put((3, 1), np.full(2, 9.0))
+        assert cache.invalidate_nodes(np.array([3])) == 2
+        assert cache.get((3, 0)) is None and cache.get((3, 1)) is None
+
+    def test_planner_dedup_single_pass(self):
+        calls = []
+
+        def compute(nodes, ts):
+            calls.append(len(nodes))
+            return np.stack([np.full(3, float(n)) for n in nodes])
+
+        planner = MicroBatchPlanner(compute, cache=EmbeddingLRU(16))
+        nodes = np.array([5, 5, 7, 5], dtype=np.int64)
+        rows = planner.embed(nodes, np.zeros(4))
+        assert calls == [2]                        # deduped to {5, 7}
+        np.testing.assert_array_equal(rows[:, 0], [5.0, 5.0, 7.0, 5.0])
+        planner.embed(nodes, np.zeros(4))
+        assert calls == [2]                        # all served from cache
+        assert planner.stats.cache_hits >= 2
+
+    def test_planner_coalesces_concurrent_requests(self):
+        import threading
+
+        passes = []
+
+        def compute(nodes, ts):
+            passes.append(len(nodes))
+            return np.stack([np.full(2, float(n)) for n in nodes])
+
+        planner = MicroBatchPlanner(compute, cache=None, window=0.05)
+        results = {}
+
+        def query(i):
+            results[i] = planner.embed(np.array([i]), np.array([0.0]))
+
+        threads = [threading.Thread(target=query, args=(i,))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for i in range(6):
+            assert results[i][0, 0] == float(i)
+        # Fewer passes than requests — at least some coalescing happened.
+        assert len(passes) < 6
+        assert planner.stats.coalesced > 0
+
+    def test_top_k_from_scores(self):
+        ids, scores = top_k_from_scores(np.array([4, 9, 2, 7]),
+                                        np.array([0.1, 0.9, 0.9, 0.5]), 3)
+        np.testing.assert_array_equal(ids, [2, 9, 7])   # tie -> lower id
+        np.testing.assert_array_equal(scores, [0.9, 0.9, 0.5])
+        ids, _ = top_k_from_scores(np.array([1, 2]), np.array([1.0, 2.0]), 10)
+        np.testing.assert_array_equal(ids, [2, 1])
+
+
+# ======================================================================
+# HTTP frontend
+# ======================================================================
+
+class TestHttpFrontend:
+
+    @pytest.fixture()
+    def service(self):
+        _, pre, _ = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config())
+        return EmbeddingService.from_artifact(artifact, history=pre)
+
+    def test_http_round_trip_matches_local_client(self, service):
+        local = LocalClient(service)
+        server, _ = start_http_server(service)
+        try:
+            client = HttpClient(f"http://127.0.0.1:"
+                                f"{server.server_address[1]}")
+            assert client.health() == {"status": "ok"}
+            t = 150.0
+            assert client.embed([1, 2, 3], t) == local.embed([1, 2, 3], t)
+            assert client.score([0, 1], [40, 41], t) \
+                == local.score([0, 1], [40, 41], t)
+            assert client.topk(0, t, 4) == local.topk(0, t, 4)
+            assert client.ingest([1], [40], [t + 1.0]) == {"ingested": 1}
+            # Post-ingest queries reflect the new event on both paths.
+            assert client.embed([1], t + 2.0) == local.embed([1], t + 2.0)
+            stats = client.stats()
+            assert stats["graph"]["num_events"] == PRETRAIN_EVENTS + 1
+            assert stats["ingest"]["events"] == 1
+        finally:
+            server.shutdown()
+
+    def test_http_error_handling(self, service):
+        import urllib.error
+        import urllib.request
+
+        server, _ = start_http_server(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            request = urllib.request.Request(
+                f"{base}/embed", data=json.dumps({"nodes": [1]}).encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400       # missing "ts"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+
+
+# ======================================================================
+# Artifact format v2 + pipeline export
+# ======================================================================
+
+class TestArtifactV2:
+
+    def _artifact(self):
+        _, pre, _ = make_split_stream(3)
+        return pretrain_artifact(pre, tiny_config()), pre
+
+    def test_v2_round_trip_without_bundle(self, tmp_path):
+        artifact, _ = self._artifact()
+        path = str(tmp_path / "plain.npz")
+        artifact.save(path)
+        loaded = PretrainArtifact.load(path)
+        assert loaded.format_version == ARTIFACT_FORMAT_VERSION == 2
+        assert loaded.finetuned is None
+        np.testing.assert_array_equal(loaded.result.memory_state,
+                                      artifact.result.memory_state)
+
+    def test_v2_round_trip_with_bundle(self, tmp_path):
+        artifact, _ = self._artifact()
+        artifact.finetuned = FineTunedBundle(
+            task="link_prediction", strategy="full",
+            encoder_state={"w": np.arange(4.0)},
+            head_state={"net.0.weight": np.eye(2)},
+            eie_state=None,
+            history=[{"epoch": 0, "val_auc": 0.7}])
+        path = str(tmp_path / "bundled.npz")
+        artifact.save(path)
+        loaded = PretrainArtifact.load(path)
+        bundle = loaded.finetuned
+        assert bundle is not None
+        assert (bundle.task, bundle.strategy) == ("link_prediction", "full")
+        assert bundle.eie_state is None
+        np.testing.assert_array_equal(bundle.encoder_state["w"],
+                                      np.arange(4.0))
+        np.testing.assert_array_equal(bundle.head_state["net.0.weight"],
+                                      np.eye(2))
+        assert bundle.history == [{"epoch": 0, "val_auc": 0.7}]
+        assert loaded.describe()["finetuned"]["strategy"] == "full"
+
+    def test_v1_file_still_loads(self, tmp_path):
+        artifact, _ = self._artifact()
+        v2_path = tmp_path / "v2.npz"
+        artifact.save(str(v2_path))
+        with np.load(str(v2_path)) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+        meta = json.loads(str(arrays.pop("__meta__")))
+        meta["format_version"] = 1
+        meta.pop("finetuned", None)
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        v1_path = str(tmp_path / "v1.npz")
+        np.savez_compressed(v1_path, **arrays)
+        loaded = PretrainArtifact.load(v1_path)
+        assert loaded.format_version == 1
+        assert loaded.finetuned is None
+        np.testing.assert_array_equal(loaded.result.memory_state,
+                                      artifact.result.memory_state)
+        # Re-saving a v1 artifact upgrades it to the current format.
+        upgraded = str(tmp_path / "upgraded.npz")
+        loaded.save(upgraded)
+        assert PretrainArtifact.load(upgraded).format_version == 2
+
+    def test_loss_curves_accessor(self):
+        artifact, _ = self._artifact()
+        curves = artifact.loss_curves()
+        assert set(curves) == {"L_eta", "L_eps", "L_tlp"}
+        assert len(curves["L_tlp"]) == len(artifact.result.loss_history)
+
+    def test_fingerprint_distinguishes_edge_features(self):
+        _, plain, _ = make_split_stream(3)
+        _, featured, _ = make_split_stream(3, edge_dim=2)
+        assert stream_fingerprint(plain) != stream_fingerprint(featured)
+        featured2 = dataclasses.replace(
+            featured, edge_feats=featured.edge_feats + 1.0)
+        assert stream_fingerprint(featured) != stream_fingerprint(featured2)
+        labeled = dataclasses.replace(
+            plain, labels=np.zeros(plain.num_events))
+        assert stream_fingerprint(plain) != stream_fingerprint(labeled)
+
+
+def _quick_run_config() -> RunConfig:
+    return RunConfig(
+        backbone="tgn", task="link_prediction", strategy="eie-gru",
+        data=DataConfig(dataset="meituan", num_users=20, num_items=15,
+                        events_main=400),
+        pretrain=CPDGConfig(epochs=1, batch_size=100, memory_dim=8,
+                            embed_dim=8, time_dim=4, eta=4, epsilon=4,
+                            num_checkpoints=3, seed=0),
+        finetune=FineTuneConfig(epochs=1, batch_size=100, seed=0))
+
+
+class TestPipelineServingPath:
+
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("export") / "serving.npz")
+        pipeline = (Pipeline(_quick_run_config())
+                    .pretrain()
+                    .finetune()
+                    .export_for_serving(path))
+        return pipeline, path
+
+    def test_export_carries_finetuned_bundle(self, exported):
+        pipeline, path = exported
+        loaded = PretrainArtifact.load(path)
+        assert loaded.finetuned is not None
+        assert loaded.finetuned.strategy == "eie-gru"
+        assert loaded.finetuned.eie_state is not None
+        assert loaded.finetuned.history == pipeline.history
+
+    def test_evaluate_loads_saved_head_without_refitting(self, exported,
+                                                         monkeypatch):
+        _, path = exported
+        pipeline = Pipeline.from_artifact(path)
+        monkeypatch.setattr(
+            Pipeline, "finetune",
+            lambda *a, **k: pytest.fail("evaluate re-ran fine-tuning "
+                                        "despite a saved head"))
+        metrics = pipeline.evaluate()
+        assert 0.0 <= metrics.auc <= 1.0
+        assert pipeline.history  # restored from the bundle
+
+    def test_service_uses_finetuned_head(self, exported):
+        _, path = exported
+        service = EmbeddingService.from_artifact(path)
+        assert service.stats()["scorer"] == "finetuned-head"
+        t = 1000.0
+        scores = service.score_links([0, 1], [25, 30], t)
+        rows = service.embed([0, 1, 25, 30], t)
+        dots = np.sum(rows[:2] * rows[2:], axis=1)
+        # The head is a trained MLP — not the dot product.
+        assert not np.allclose(scores, dots)
+        ids, _ = service.top_k(0, t, 3)
+        assert len(ids) == 3
