@@ -46,6 +46,12 @@ def _load_run_config(args: argparse.Namespace,
         # One flag drives both stages; dotted --set overrides still win.
         overrides = {"pretrain.num_workers": workers,
                      "finetune.num_workers": workers, **overrides}
+    fabric = getattr(args, "fabric", None)
+    if fabric is not None:
+        overrides = {"pretrain.fabric": fabric, **overrides}
+    shard_dir = getattr(args, "shard_dir", None)
+    if shard_dir is not None:
+        overrides = {"pretrain.shard_dir": shard_dir, **overrides}
     if overrides:
         config = config.with_overrides(overrides)
     flags = {}
@@ -135,6 +141,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
           f"{source}) ===")
     _print_metrics(metrics, args.out)
     return 0
+
+
+def _cmd_fabric_worker(args: argparse.Namespace) -> int:
+    from .fabric.worker import main as worker_main
+    argv = ["--connect", args.connect, "--shards", args.shards,
+            "--capacity", str(args.capacity),
+            "--retry-for", str(args.retry_for)]
+    if args.name:
+        argv += ["--name", args.name]
+    if args.no_mmap:
+        argv.append("--no-mmap")
+    if args.max_results is not None:
+        argv += ["--max-results", str(args.max_results)]
+    if args.quiet:
+        argv.append("--quiet")
+    return worker_main(argv)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -244,6 +266,15 @@ def main(argv: list[str] | None = None) -> int:
                      help="artifact path (default: %(default)s)")
     pre.add_argument("--dump-config", action="store_true",
                      help="print the effective config as JSON and exit")
+    pre.add_argument("--fabric", default=None, metavar="HOST:PORT",
+                     help="produce batches over the distributed fabric: "
+                          "listen here as coordinator and lease work to "
+                          "'repro fabric-worker' processes (port 0 = "
+                          "ephemeral)")
+    pre.add_argument("--shard-dir", default=None, metavar="DIR",
+                     help="export graph shards here for fabric workers to "
+                          "mount (default: a temp dir; required for "
+                          "workers on other machines)")
 
     fin = sub.add_parser(
         "finetune", help="fine-tune downstream from a saved artifact")
@@ -284,6 +315,20 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--no-verify-fingerprint", action="store_true")
     srv.add_argument("--quiet", action="store_true")
 
+    fw = sub.add_parser(
+        "fabric-worker", help="join a distributed batch-production fabric "
+                              "as a worker (see pretrain --fabric)")
+    fw.add_argument("--connect", required=True, metavar="HOST:PORT")
+    fw.add_argument("--shards", required=True, metavar="DIR")
+    fw.add_argument("--name", default=None)
+    fw.add_argument("--capacity", type=int, default=2)
+    fw.add_argument("--no-mmap", action="store_true")
+    fw.add_argument("--retry-for", type=float, default=30.0,
+                    metavar="SECONDS")
+    fw.add_argument("--max-results", type=int, default=None,
+                    help=argparse.SUPPRESS)
+    fw.add_argument("--quiet", action="store_true")
+
     sub.add_parser("list", help="list registered experiments")
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -301,6 +346,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"pretrain": _cmd_pretrain, "finetune": _cmd_finetune,
                 "evaluate": _cmd_evaluate, "serve": _cmd_serve,
+                "fabric-worker": _cmd_fabric_worker,
                 "list": _cmd_list, "run": _cmd_run, "profile": _cmd_profile}
     try:
         return handlers[args.command](args)
@@ -309,12 +355,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except StreamError as exc:
         # Producer misconfiguration (no spawn support, stream too small to
-        # shard, dead workers): one actionable line, not a multiprocessing
-        # traceback.
+        # shard, dead/rejected workers): one actionable line, not a
+        # multiprocessing traceback.
         print(f"error: {exc}", file=sys.stderr)
-        print("hint: re-run with --workers 0 (or --set "
-              "pretrain.num_workers=0) for in-process batch production",
-              file=sys.stderr)
+        if args.command == "fabric-worker":
+            print("hint: check the coordinator address and that --shards "
+                  "points at this run's exported shard directory",
+                  file=sys.stderr)
+        else:
+            print("hint: re-run with --workers 0 (or --set "
+                  "pretrain.num_workers=0) for in-process batch production",
+                  file=sys.stderr)
         return 2
 
 

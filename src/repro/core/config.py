@@ -73,6 +73,18 @@ class CPDGConfig:
     prefetch_batches: int = 4
     mmap_graph: bool = False
 
+    # Distributed batch-production fabric (repro.fabric).  ``fabric`` is a
+    # ``host:port`` the coordinator listens on (port 0 = ephemeral); the
+    # graph is exported to ``shard_dir`` (a temp dir when None) and remote
+    # ``repro fabric-worker`` processes mount it.  ``fabric_ranges`` splits
+    # the CSR into that many node ranges workers memory-map lazily;
+    # ``fabric_lease_timeout`` is how long a worker owes a leased batch
+    # before it is re-leased elsewhere.
+    fabric: str | None = None
+    shard_dir: str | None = None
+    fabric_ranges: int = 8
+    fabric_lease_timeout: float = 30.0
+
     seed: int = 0
 
     @property
@@ -108,3 +120,16 @@ class CPDGConfig:
             raise ValueError("num_workers must be >= 0 (0 = in-process)")
         if self.prefetch_batches < 1:
             raise ValueError("prefetch_batches must be positive")
+        if self.fabric is not None:
+            from ..fabric.protocol import FabricError, parse_address
+            try:
+                parse_address(self.fabric)
+            except FabricError as exc:
+                raise ValueError(str(exc)) from None
+            if self.num_workers > 0:
+                raise ValueError("fabric and num_workers are mutually "
+                                 "exclusive batch-production backends")
+        if self.fabric_ranges < 1:
+            raise ValueError("fabric_ranges must be >= 1")
+        if self.fabric_lease_timeout <= 0:
+            raise ValueError("fabric_lease_timeout must be positive")

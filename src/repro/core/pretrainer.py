@@ -145,13 +145,23 @@ class CPDGPreTrainer:
         finder = NeighborFinder(stream)
         shards: tempfile.TemporaryDirectory | None = None
         shard_dir = None
-        if cfg.mmap_graph:
-            # Trainer-side memory mapping: export once, then reopen the
-            # CSR read-only; producer workers mount the same directory.
-            shards = tempfile.TemporaryDirectory(prefix="repro-graph-")
-            shard_dir = export_graph_shards(stream, shards.name,
+        if cfg.mmap_graph or cfg.fabric is not None:
+            # Export once; the fabric coordinator serves this directory's
+            # fingerprint and remote workers mount their own copy.  A
+            # configured shard_dir persists (remote mounts need it);
+            # otherwise a temp dir is cleaned after training.
+            if cfg.shard_dir is not None:
+                import os
+                os.makedirs(cfg.shard_dir, exist_ok=True)
+                export_dir = cfg.shard_dir
+            else:
+                shards = tempfile.TemporaryDirectory(prefix="repro-graph-")
+                export_dir = shards.name
+            shard_dir = export_graph_shards(stream, export_dir,
                                             finder=finder)
-            finder = NeighborFinder.open(shard_dir, mmap=True)
+            if cfg.mmap_graph:
+                # Trainer-side memory mapping: reopen the CSR read-only.
+                finder = NeighborFinder.open(shard_dir, mmap=True)
         encoder.attach(stream, finder)
         encoder.reset_memory()
 
@@ -160,7 +170,15 @@ class CPDGPreTrainer:
         spec = self.producer_spec(stream, shard_dir=shard_dir)
         producer = make_producer(spec, plan, num_workers=cfg.num_workers,
                                  prefetch_batches=cfg.prefetch_batches,
-                                 stream=stream, finder=finder)
+                                 stream=stream, finder=finder,
+                                 fabric=cfg.fabric,
+                                 fabric_options=dict(
+                                     num_ranges=cfg.fabric_ranges,
+                                     lease_timeout=cfg.fabric_lease_timeout))
+        if verbose and cfg.fabric is not None:
+            host, port = producer.address
+            print(f"[cpdg] fabric coordinator listening on {host}:{port}; "
+                  f"join with: {producer.worker_mount_hint()}")
 
         params = encoder.parameters() + self.pretext.parameters()
         optimizer = Adam(params, lr=cfg.learning_rate)

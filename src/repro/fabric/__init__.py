@@ -1,0 +1,33 @@
+"""Distributed, elastic batch-production fabric (sockets, stdlib only).
+
+The streaming pipeline made batch production a pure function of
+``(graph, work item)`` — :mod:`repro.fabric` turns that purity into
+distribution.  A :class:`FabricCoordinator` owns the
+:class:`~repro.stream.BatchPlan` and leases work items over TCP to
+:class:`FabricWorker` processes, which mount the exported graph shards
+(range-sharded CSR, memory-mapped lazily) and stream
+:class:`~repro.stream.PreparedBatch`es back.  Workers are elastic and
+crash-safe: leases carry deadlines, dead or slow workers' items are
+reclaimed and re-leased (re-execution is bit-identical), and new
+workers join mid-run after a fingerprint handshake.
+
+:class:`FabricProducer` packages all of this behind the standard
+producer protocol, so trainers cannot tell the fabric from the serial
+producer — except by wall-clock.
+"""
+
+from .coordinator import FabricCoordinator
+from .ledger import Lease, LeaseLedger, LedgerCounters
+from .producer import FabricProducer
+from .protocol import (PROTOCOL_VERSION, FabricError, FrameDecoder,
+                       encode_frame, format_address, parse_address,
+                       plan_fingerprint, recv_frame, send_frame)
+from .worker import FabricWorker
+
+__all__ = [
+    "FabricCoordinator", "FabricProducer", "FabricWorker",
+    "Lease", "LeaseLedger", "LedgerCounters",
+    "PROTOCOL_VERSION", "FabricError", "FrameDecoder",
+    "encode_frame", "format_address", "parse_address",
+    "plan_fingerprint", "recv_frame", "send_frame",
+]

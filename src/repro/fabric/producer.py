@@ -1,0 +1,206 @@
+""":class:`FabricProducer` — the fabric behind the producer protocol.
+
+To the trainer this is just another :class:`~repro.stream.BatchProducer`:
+iterate it and bit-identical :class:`~repro.stream.PreparedBatch`es come
+out in plan order.  Underneath it exports the graph (and a range-sharded
+CSR) to a shard directory, starts a :class:`FabricCoordinator`, and
+reassembles out-of-order results from however many workers happen to be
+connected — zero at the start is fine; the run simply waits (up to
+``timeout``) for the first worker to join.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import shutil
+import tempfile
+import time
+from dataclasses import replace
+
+from ..graph.events import EventStream
+from ..graph.neighbor_finder import NeighborFinder
+from ..stream import (BatchPlan, BatchProducer, ProducerSpec, StreamError,
+                      export_graph_shards, export_range_shards,
+                      has_csr_shards, has_range_shards, open_stream_shards)
+from ..stream.producer import _shard_num_events
+from .coordinator import FabricCoordinator
+from .protocol import format_address
+
+__all__ = ["FabricProducer"]
+
+
+class FabricProducer(BatchProducer):
+    """Distributed batch production behind the standard producer seam.
+
+    Parameters
+    ----------
+    spec, plan:
+        As for the other producers.  When ``spec.shard_dir`` is ``None``
+        the graph is exported to a temporary directory (cleaned on
+        :meth:`close`); give a persistent ``shard_dir`` when remote
+        workers must mount the same export.
+    bind:
+        ``"host:port"`` pair for the coordinator to listen on
+        (``(host, port)`` tuples also accepted); port 0 → ephemeral.
+    prefetch_batches:
+        In-flight bound: leases granted past the consumer cursor, and
+        therefore also the reassembly holdback size.
+    lease_timeout / heartbeat_timeout:
+        Reclamation knobs, passed through to the coordinator.
+    timeout:
+        Consumer-side stall limit — with no completed batch for this
+        long, the run aborts with a diagnostic (including whether any
+        worker ever connected).
+    num_ranges:
+        Ranges for the lazy CSR export (ignored when the shard dir
+        already carries range shards or the spec needs no finder).
+    """
+
+    def __init__(self, spec: ProducerSpec, plan: BatchPlan | None = None, *,
+                 bind: str | tuple[str, int] = ("127.0.0.1", 0),
+                 prefetch_batches: int = 8, lease_timeout: float = 30.0,
+                 heartbeat_timeout: float = 10.0, timeout: float = 600.0,
+                 num_ranges: int = 8,
+                 stream: EventStream | None = None,
+                 finder: NeighborFinder | None = None):
+        self._closed = False
+        self._tmpdir: str | None = None
+        self.coordinator: FabricCoordinator | None = None
+        self.reassembly_waits: list[float] = []
+        self._timeout = float(timeout)
+
+        if isinstance(bind, str):
+            from .protocol import parse_address
+            bind = parse_address(bind)
+        if stream is not None and spec.stream is None:
+            spec = replace(spec, stream=stream)
+        if plan is None:
+            num_events = (spec.stream.num_events if spec.stream is not None
+                          else _shard_num_events(spec.shard_dir))
+            plan = spec.make_plan(num_events)
+        self.plan = plan
+
+        try:
+            if spec.shard_dir is None:
+                if spec.stream is None:
+                    raise ValueError(
+                        "ProducerSpec needs a stream or a shard_dir")
+                self._tmpdir = tempfile.mkdtemp(prefix="repro-fabric-")
+                export_finder = finder
+                if spec.needs_finder and export_finder is None:
+                    export_finder = NeighborFinder(spec.stream)
+                export_graph_shards(spec.stream, self._tmpdir,
+                                    finder=export_finder)
+                spec = replace(spec, shard_dir=self._tmpdir)
+                finder = export_finder
+            if spec.needs_finder and not has_range_shards(spec.shard_dir):
+                range_finder = finder
+                if range_finder is None:
+                    if has_csr_shards(spec.shard_dir):
+                        _, range_finder = _open_csr(spec.shard_dir)
+                    else:
+                        graph = (spec.stream
+                                 or open_stream_shards(spec.shard_dir))
+                        range_finder = NeighborFinder(graph)
+                export_range_shards(range_finder, spec.shard_dir,
+                                    num_ranges=max(1, int(num_ranges)))
+            self.spec = replace(spec, stream=None)
+            self.coordinator = FabricCoordinator(
+                self.spec, plan, bind,
+                prefetch=max(int(prefetch_batches), 1),
+                lease_timeout=lease_timeout,
+                heartbeat_timeout=heartbeat_timeout).start()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.coordinator.address
+
+    @property
+    def shard_dir(self) -> str:
+        return self.spec.shard_dir
+
+    def worker_mount_hint(self) -> str:
+        """The command remote workers run to join this producer."""
+        return (f"repro fabric-worker --connect "
+                f"{format_address(self.address)} --shards {self.shard_dir}")
+
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        if self._closed:
+            raise StreamError("producer already closed")
+        coord = self.coordinator
+        total = len(self.plan)
+        next_to_yield = 0
+        holdback: dict[int, tuple] = {}
+        last_progress = time.monotonic()
+        while next_to_yield < total:
+            self._check_failed()
+            try:
+                seq, batch, arrived = coord.results.get(timeout=0.5)
+            except queue_module.Empty:
+                self._check_failed()
+                if time.monotonic() - last_progress > self._timeout:
+                    connected = coord.workers_connected()
+                    ever = coord.workers_ever_joined
+                    hint = ("" if ever else
+                            "; no worker has joined — start one with: "
+                            + self.worker_mount_hint())
+                    self.close()
+                    raise StreamError(
+                        "fabric stalled: no completed batch within "
+                        f"{self._timeout:.0f}s ({connected} worker(s) "
+                        f"connected){hint}")
+                continue
+            holdback[seq] = (batch, arrived)
+            while next_to_yield in holdback:
+                batch, arrived = holdback.pop(next_to_yield)
+                self.reassembly_waits.append(time.monotonic() - arrived)
+                coord.advance(next_to_yield)
+                yield batch
+                next_to_yield += 1
+                last_progress = time.monotonic()
+
+    def _check_failed(self) -> None:
+        coord = self.coordinator
+        if coord.error is not None:
+            who, tb = coord.error
+            self.close()
+            raise StreamError(f"fabric worker {who!r} failed:\n{tb}")
+        if not coord.thread_alive and not coord.finished:
+            self.close()
+            raise StreamError("fabric coordinator thread died")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        stats = self.coordinator.stats() if self.coordinator else {}
+        waits = self.reassembly_waits
+        if waits:
+            ordered = sorted(waits)
+            stats["reassembly_wait_mean_s"] = sum(waits) / len(waits)
+            stats["reassembly_wait_p99_s"] = ordered[
+                min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        return stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.coordinator is not None:
+            self.coordinator.close()
+        if self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def __del__(self):  # best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _open_csr(shard_dir: str):
+    from ..stream.shards import open_graph_shards
+    return open_graph_shards(shard_dir, mmap=True)

@@ -1,0 +1,249 @@
+"""The fabric worker: mount shards, lease work, stream results back.
+
+A worker is deliberately dumb — it holds no plan and no progress state.
+It connects, proves (via shard fingerprint) that its mounted shard
+directory is the coordinator's graph, receives the production spec over
+the wire, and then loops: ``LEASE in → produce_batch → RESULT out``.
+Because production is a pure function of ``(graph, work item)``, a
+worker can crash, rejoin, or duplicate another worker's item without
+affecting what the trainer sees.
+
+Workers open the graph through **range-sharded CSR** when the shard
+directory carries one (:func:`~repro.stream.open_range_sharded_finder`):
+adjacency segments are memory-mapped lazily, so a worker only pages in
+the node ranges its leased items actually sample.
+
+This module is also the ``repro fabric-worker`` CLI entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import replace
+
+from ..stream import (SamplingContext, has_range_shards,
+                      open_range_sharded_finder, open_stream_shards,
+                      produce_batch, shard_fingerprint)
+from .protocol import (BYE, ERROR, HEARTBEAT, HELLO, LEASE,
+                       PROTOCOL_VERSION, REJECT, RESULT, SHUTDOWN, WELCOME,
+                       FabricError, format_address, parse_address,
+                       recv_frame, send_frame)
+
+__all__ = ["FabricWorker", "main"]
+
+
+class FabricWorker:
+    """One elastic production worker.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the coordinator.
+    shard_dir:
+        Local mount of the run's exported graph shards.  Its fingerprint
+        is checked against the coordinator's during the handshake.
+    name:
+        Wire identity; defaults to ``hostname-pid``.  The coordinator
+        de-duplicates clashes.
+    capacity:
+        Leases this worker may hold at once (pipeline depth — while one
+        item is in production the next is already on the wire).
+    mmap:
+        Memory-map the shards (default) instead of loading them.
+    heartbeat_interval:
+        Seconds between liveness frames (a daemon thread sends them so a
+        long ``produce_batch`` does not look like a death).
+    retry_for:
+        Keep retrying the initial connect for this many seconds — lets a
+        worker start *before* its coordinator (or outlive a restart).
+    """
+
+    def __init__(self, address: tuple[str, int], shard_dir: str, *,
+                 name: str | None = None, capacity: int = 2,
+                 mmap: bool = True, heartbeat_interval: float = 1.0,
+                 retry_for: float = 0.0):
+        self.address = address
+        self.shard_dir = shard_dir
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.capacity = max(1, int(capacity))
+        self.mmap = mmap
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.retry_for = float(retry_for)
+        self._finder = None
+
+    # ------------------------------------------------------------------
+    def run(self, max_results: int | None = None) -> dict:
+        """Serve until the coordinator shuts down; return run stats.
+
+        ``max_results`` aborts after that many results **without** a BYE
+        — the socket just drops, exactly like a crash.  The chaos tests
+        use it to exercise lease reclamation.
+        """
+        sock = self._connect()
+        produced = 0
+        graceful = False
+        stop = threading.Event()
+        send_lock = threading.Lock()
+        try:
+            send_frame(sock, {"type": HELLO,
+                              "version": PROTOCOL_VERSION,
+                              "name": self.name,
+                              "capacity": self.capacity,
+                              "shard_fingerprint":
+                                  shard_fingerprint(self.shard_dir)})
+            reply = recv_frame(sock)
+            if reply is None:
+                raise FabricError("coordinator closed during handshake")
+            if reply.get("type") == REJECT:
+                raise FabricError("coordinator rejected worker: "
+                                  + reply.get("reason", "<no reason>"))
+            if reply.get("type") != WELCOME:
+                raise FabricError(f"unexpected handshake reply: {reply!r}")
+            self.name = reply.get("name", self.name)
+            spec = replace(reply["spec"], stream=None,
+                           shard_dir=self.shard_dir, mmap=self.mmap)
+            ctx = self._make_context(spec)
+
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop, args=(sock, stop, send_lock),
+                daemon=True, name=f"repro-fabric-heartbeat-{self.name}")
+            heartbeat.start()
+
+            while True:
+                message = recv_frame(sock)
+                if message is None or message.get("type") == SHUTDOWN:
+                    graceful = True
+                    break
+                if message.get("type") != LEASE:
+                    continue
+                item = message["item"]
+                try:
+                    batch = produce_batch(ctx, item).materialize()
+                except BaseException:
+                    with send_lock:
+                        send_frame(sock, {"type": ERROR,
+                                          "worker": self.name,
+                                          "traceback":
+                                              traceback.format_exc()})
+                    raise
+                with send_lock:
+                    send_frame(sock, {"type": RESULT, "seq": item.seq,
+                                      "batch": batch})
+                produced += 1
+                if max_results is not None and produced >= max_results:
+                    break  # no BYE: simulate a crash
+        finally:
+            stop.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+        stats = {"name": self.name, "produced": produced,
+                 "graceful": graceful}
+        store = getattr(self._finder, "range_store", None)
+        if store is not None:
+            stats["ranges_opened"] = sorted(store.opened)
+            stats["num_ranges"] = len(store.node_bounds) - 1
+        return stats
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.retry_for
+        while True:
+            try:
+                sock = socket.create_connection(self.address, timeout=10.0)
+                sock.settimeout(None)
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+                return sock
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise FabricError(
+                        "could not connect to fabric coordinator at "
+                        f"{format_address(self.address)}: {exc}") from exc
+                time.sleep(0.2)
+
+    def _make_context(self, spec) -> SamplingContext:
+        """Resolve the graph, preferring lazy range-sharded CSR."""
+        if spec.needs_finder and has_range_shards(self.shard_dir):
+            stream = open_stream_shards(self.shard_dir, mmap=self.mmap)
+            finder = open_range_sharded_finder(self.shard_dir,
+                                               mmap=self.mmap)
+            ctx = SamplingContext(spec, stream=stream, finder=finder)
+        else:
+            ctx = SamplingContext(spec)
+        self._finder = ctx.finder
+        return ctx
+
+    def _heartbeat_loop(self, sock: socket.socket, stop: threading.Event,
+                        send_lock: threading.Lock) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                with send_lock:
+                    send_frame(sock, {"type": HEARTBEAT,
+                                      "worker": self.name})
+            except OSError:
+                return
+
+    def leave(self, sock: socket.socket) -> None:
+        """Graceful departure (unused by :meth:`run`; for embedders)."""
+        try:
+            send_frame(sock, {"type": BYE, "worker": self.name})
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# CLI entry (``repro fabric-worker`` delegates here)
+# ----------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fabric-worker",
+        description="Join a batch-production fabric as a worker.")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    parser.add_argument("--shards", required=True, metavar="DIR",
+                        help="local mount of the run's exported graph "
+                             "shards (must fingerprint-match)")
+    parser.add_argument("--name", default=None,
+                        help="worker identity (default: hostname-pid)")
+    parser.add_argument("--capacity", type=int, default=2,
+                        help="concurrent leases to hold (default: 2)")
+    parser.add_argument("--no-mmap", action="store_true",
+                        help="load shards into memory instead of mmap")
+    parser.add_argument("--retry-for", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="keep retrying the connect this long "
+                             "(default: 30; lets workers start first)")
+    parser.add_argument("--max-results", type=int, default=None,
+                        help=argparse.SUPPRESS)  # chaos/bench hook
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the exit summary")
+    args = parser.parse_args(argv)
+
+    worker = FabricWorker(parse_address(args.connect), args.shards,
+                          name=args.name, capacity=args.capacity,
+                          mmap=not args.no_mmap, retry_for=args.retry_for)
+    stats = worker.run(max_results=args.max_results)
+    if not args.quiet:
+        opened = stats.get("ranges_opened")
+        extra = ""
+        if opened is not None:
+            extra = (f", opened {len(opened)}/{stats['num_ranges']} "
+                     "range shards")
+        print(f"[fabric-worker {stats['name']}] produced "
+              f"{stats['produced']} batch(es){extra}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -23,8 +23,12 @@ from .prepared import MessageSkeleton, PreparedBatch
 from .producer import (BatchProducer, MultiprocessProducer, ProducerSpec,
                        SamplingContext, SerialProducer, make_producer,
                        produce_batch)
-from .shards import (export_graph_shards, export_stream_shards,
-                     has_csr_shards, open_graph_shards, open_stream_shards)
+from .shards import (RangeShard, RangeShardStore, ShardedColumn,
+                     export_graph_shards, export_range_shards,
+                     export_stream_shards, has_csr_shards, has_range_shards,
+                     open_graph_shards, open_range_shard,
+                     open_range_sharded_finder, open_stream_shards,
+                     shard_fingerprint)
 
 __all__ = [
     "BatchPlan", "BatchRngs", "StreamError", "WorkItem",
@@ -34,4 +38,7 @@ __all__ = [
     "SamplingContext", "SerialProducer", "make_producer", "produce_batch",
     "export_graph_shards", "export_stream_shards", "has_csr_shards",
     "open_graph_shards", "open_stream_shards",
+    "RangeShard", "RangeShardStore", "ShardedColumn",
+    "export_range_shards", "has_range_shards", "open_range_shard",
+    "open_range_sharded_finder", "shard_fingerprint",
 ]

@@ -28,8 +28,10 @@ import os
 import queue as queue_module
 import shutil
 import tempfile
+import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -49,6 +51,7 @@ __all__ = ["ProducerSpec", "SamplingContext", "produce_batch",
            "make_producer"]
 
 _ERROR = "__producer_error__"
+_HEARTBEAT = "__producer_heartbeat__"
 
 
 @dataclass
@@ -224,22 +227,46 @@ class SerialProducer(BatchProducer):
             yield produce_batch(self._ctx, item)
 
 
-def _worker_main(spec: ProducerSpec, task_queue, result_queue) -> None:
-    """Worker loop: open shards, produce until the ``None`` sentinel."""
+def _worker_main(spec: ProducerSpec, task_queue, result_queue,
+                 heartbeat_interval: float = 2.0) -> None:
+    """Worker loop: open shards, produce until the ``None`` sentinel.
+
+    A daemon thread ticks heartbeats onto the result queue so the
+    consumer can tell a *hung* worker (alive but frozen — e.g. stopped,
+    or deadlocked in native code) from a merely slow one: production
+    blocks the main thread, but the heartbeat thread keeps beating
+    unless the whole process is frozen.
+    """
+    name = mp.current_process().name
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                result_queue.put((_HEARTBEAT, name))
+            except Exception:
+                return
+
+    threading.Thread(target=_beat, daemon=True,
+                     name=f"{name}-heartbeat").start()
     try:
-        ctx = SamplingContext(spec)
-    except BaseException:
-        result_queue.put((_ERROR, traceback.format_exc()))
-        return
-    while True:
-        item = task_queue.get()
-        if item is None:
-            return
         try:
-            result_queue.put((item.seq, produce_batch(ctx, item).materialize()))
+            ctx = SamplingContext(spec)
         except BaseException:
             result_queue.put((_ERROR, traceback.format_exc()))
             return
+        while True:
+            item = task_queue.get()
+            if item is None:
+                return
+            try:
+                result_queue.put((item.seq,
+                                  produce_batch(ctx, item).materialize()))
+            except BaseException:
+                result_queue.put((_ERROR, traceback.format_exc()))
+                return
+    finally:
+        stop.set()
 
 
 class MultiprocessProducer(BatchProducer):
@@ -256,7 +283,8 @@ class MultiprocessProducer(BatchProducer):
     def __init__(self, spec: ProducerSpec, plan: BatchPlan | None = None,
                  num_workers: int = 2, prefetch_batches: int = 4,
                  finder: NeighborFinder | None = None,
-                 timeout: float = 300.0):
+                 timeout: float = 300.0, heartbeat_interval: float = 2.0,
+                 hang_timeout: float = 30.0):
         # Safety first: __del__/close() must work however early __init__
         # fails.
         self._closed = False
@@ -305,15 +333,19 @@ class MultiprocessProducer(BatchProducer):
             self.num_workers = num_workers
             self.prefetch_batches = max(prefetch_batches, num_workers)
             self._timeout = timeout
+            self._hang_timeout = hang_timeout
             self._tasks = self._mp.Queue()
             self._results = self._mp.Queue()
             self._workers = [
                 self._mp.Process(target=_worker_main,
-                                 args=(self.spec, self._tasks, self._results),
+                                 args=(self.spec, self._tasks, self._results,
+                                       heartbeat_interval),
                                  daemon=True, name=f"repro-producer-{i}")
                 for i in range(num_workers)]
             for worker in self._workers:
                 worker.start()
+            start = time.monotonic()
+            self._last_alive = {w.name: start for w in self._workers}
         except BaseException:
             self.close()
             raise
@@ -350,7 +382,7 @@ class MultiprocessProducer(BatchProducer):
         deadline = time.monotonic() + self._timeout
         while True:
             try:
-                return self._results.get(timeout=1.0)
+                seq, payload = self._results.get(timeout=1.0)
             except queue_module.Empty:
                 # During iteration no worker should have exited: a dead
                 # worker may have taken unfinished work items with it, so
@@ -362,28 +394,53 @@ class MultiprocessProducer(BatchProducer):
                     self.close()
                     raise StreamError(
                         f"batch producer worker(s) died: {names}")
-                if time.monotonic() >= deadline:
+                # A worker can also be alive-but-frozen (stopped, stuck in
+                # native code): its process shows as alive while its
+                # heartbeat thread went silent.  Fail with the worker's
+                # name instead of waiting out the generic stall deadline.
+                now = time.monotonic()
+                hung = [name for name, seen in self._last_alive.items()
+                        if now - seen > self._hang_timeout]
+                if hung:
+                    self.close(force=True)
+                    raise StreamError(
+                        "batch producer worker(s) hung (no heartbeat for "
+                        f"{self._hang_timeout:.0f}s): {', '.join(hung)}")
+                if now >= deadline:
                     self.close()
                     raise StreamError(
                         "batch producer stalled: no result within "
                         f"{self._timeout:.0f}s")
+                continue
+            if seq == _HEARTBEAT:
+                self._last_alive[payload] = time.monotonic()
+                continue
+            return seq, payload
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, force: bool = False) -> None:
+        """Tear workers down; ``force=True`` skips the graceful sentinel
+        round and SIGKILLs immediately — the only signal that reaches a
+        frozen (e.g. stopped) process."""
         if self._closed:
             return
         self._closed = True
         try:
-            for _ in self._workers:
-                try:
-                    self._tasks.put_nowait(None)
-                except Exception:
-                    break
-            for worker in self._workers:
-                worker.join(timeout=5.0)
+            if not force:
+                for _ in self._workers:
+                    try:
+                        self._tasks.put_nowait(None)
+                    except Exception:
+                        break
+                for worker in self._workers:
+                    worker.join(timeout=5.0)
+                for worker in self._workers:
+                    if worker.is_alive():
+                        worker.terminate()
+                        worker.join(timeout=5.0)
             for worker in self._workers:
                 if worker.is_alive():
-                    worker.terminate()
+                    worker.kill()
                     worker.join(timeout=5.0)
         finally:
             for q in (self._tasks, self._results):
@@ -408,13 +465,35 @@ def _shard_num_events(shard_dir: str) -> int:
 def make_producer(spec: ProducerSpec, plan: BatchPlan | None = None,
                   num_workers: int = 0, prefetch_batches: int = 4,
                   stream: EventStream | None = None,
-                  finder: NeighborFinder | None = None) -> BatchProducer:
+                  finder: NeighborFinder | None = None,
+                  fabric: str | tuple[str, int] | None = None,
+                  fabric_options: dict | None = None) -> BatchProducer:
     """Build the producer a config asks for.
 
-    ``num_workers=0`` → :class:`SerialProducer` (in-process);
+    ``fabric="host:port"`` → :class:`~repro.fabric.FabricProducer`
+    (distributed; a coordinator listens there and remote
+    ``repro fabric-worker`` processes produce); otherwise
+    ``num_workers=0`` → :class:`SerialProducer` (in-process) and
     ``num_workers>=1`` → :class:`MultiprocessProducer` with that many
     spawn workers.
     """
+    if fabric is not None:
+        # Imported lazily: repro.fabric imports repro.stream.
+        from ..fabric import FabricProducer
+        return FabricProducer(spec, plan, bind=fabric,
+                              prefetch_batches=max(prefetch_batches, 1),
+                              stream=stream, finder=finder,
+                              **(fabric_options or {}))
+    if num_workers > 0 and (os.cpu_count() or 1) < 2:
+        # With no spare core the spawn workers time-slice against the
+        # trainer and lose to the serial path outright (see
+        # BENCH_stream.json) — fall back instead of silently regressing.
+        warnings.warn(
+            f"num_workers={num_workers} requested but this machine has "
+            "no spare core for producer processes "
+            f"(os.cpu_count()={os.cpu_count()}); falling back to the "
+            "in-process serial producer", RuntimeWarning, stacklevel=2)
+        num_workers = 0
     if num_workers == 0:
         return SerialProducer(spec, plan, stream=stream, finder=finder)
     return MultiprocessProducer(spec, plan, num_workers=num_workers,

@@ -9,6 +9,8 @@ and producers tear down cleanly when the consumer dies.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -277,15 +279,55 @@ class TestMultiprocessLifecycle:
         with pytest.raises(StreamError, match="too small"):
             MultiprocessProducer(spec, num_workers=4)
 
-    def test_make_producer_dispatch(self):
+    def test_make_producer_dispatch(self, monkeypatch):
         stream = make_stream()
         spec = spec_for(stream, small_config())
         assert isinstance(make_producer(spec, num_workers=0), SerialProducer)
+        # Dispatch is decided by the requested worker count, not by this
+        # machine's core count — pin it so the test is deterministic.
+        monkeypatch.setattr("repro.stream.producer.os.cpu_count", lambda: 8)
         producer = make_producer(spec, num_workers=1)
         try:
             assert isinstance(producer, MultiprocessProducer)
         finally:
             producer.close()
+
+    def test_make_producer_serial_fallback_without_spare_core(
+            self, monkeypatch):
+        """On a 1-core machine spawn workers only steal the trainer's
+        time slice; make_producer must warn and go serial instead."""
+        stream = make_stream()
+        spec = spec_for(stream, small_config())
+        monkeypatch.setattr("repro.stream.producer.os.cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="no spare core"):
+            producer = make_producer(spec, num_workers=2)
+        assert isinstance(producer, SerialProducer)
+
+    def test_hung_worker_raises_clear_error(self):
+        """A frozen-but-alive worker (SIGSTOP) must surface as a named
+        StreamError via missed heartbeats, not a 300 s generic stall."""
+        import signal
+        stream = make_stream()
+        producer = MultiprocessProducer(
+            spec_for(stream, small_config()), num_workers=2,
+            heartbeat_interval=0.2, hang_timeout=2.0)
+        workers = list(producer._workers)
+        try:
+            iterator = iter(producer)
+            next(iterator)  # wait until both workers are up and producing
+            for worker in workers:
+                os.kill(worker.pid, signal.SIGSTOP)
+            with pytest.raises(StreamError, match="hung"):
+                for _ in iterator:
+                    pass
+        finally:
+            for worker in workers:
+                try:
+                    os.kill(worker.pid, signal.SIGCONT)
+                except (OSError, ProcessLookupError):
+                    pass
+            producer.close(force=True)
+        assert all(not w.is_alive() for w in workers)
 
 
 # ----------------------------------------------------------------------
