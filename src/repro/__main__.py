@@ -168,6 +168,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--compaction-threshold", str(args.compaction_threshold)]
     if args.no_verify_fingerprint:
         argv.append("--no-verify-fingerprint")
+    if args.no_compile:
+        argv.append("--no-compile")
     if args.quiet:
         argv.append("--quiet")
     return serve_main(argv)
@@ -313,6 +315,9 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--compaction-threshold", type=int, default=4096,
                      help="ingested events buffered before CSR merge")
     srv.add_argument("--no-verify-fingerprint", action="store_true")
+    srv.add_argument("--no-compile", action="store_true",
+                     help="serve with pure eager inference (no replay "
+                          "compilation)")
     srv.add_argument("--quiet", action="store_true")
 
     fw = sub.add_parser(

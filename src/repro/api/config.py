@@ -33,6 +33,11 @@ TASKS = ("link_prediction", "node_classification")
 # runners historically use "link" / "node").
 _TASK_ALIASES = {"link": "link_prediction", "node": "node_classification"}
 
+# Override aliases fanning one ``--set`` key out to several leaf fields.
+_OVERRIDE_ALIASES = {
+    "nn.compile": ("pretrain.compile_step", "finetune.compile_step"),
+}
+
 
 class ConfigError(ValueError):
     """Malformed run configuration or override."""
@@ -172,10 +177,16 @@ class RunConfig:
 
         Each key must name an existing leaf field; pointing at a whole
         section (``--set pretrain=...``) or an unknown field raises
-        :class:`ConfigError`.
+        :class:`ConfigError`.  A few aliases fan one key out to several
+        fields: ``nn.compile`` toggles the compiled train step in every
+        stage (``--set nn.compile=false`` restores pure eager autograd).
         """
-        payload = self.to_dict()
+        expanded: dict[str, object] = {}
         for dotted, value in overrides.items():
+            for target in _OVERRIDE_ALIASES.get(dotted, (dotted,)):
+                expanded[target] = value
+        payload = self.to_dict()
+        for dotted, value in expanded.items():
             node = payload
             parts = dotted.split(".")
             for depth, part in enumerate(parts[:-1]):

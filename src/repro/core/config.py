@@ -56,6 +56,14 @@ class CPDGConfig:
     n_neighbors: int = 10
     n_layers: int = 1
 
+    # Compiled training step (repro.nn.compile).  When True the per-batch
+    # forward+backward is traced once per batch signature and replayed as
+    # a straight-line program with fused elementwise backward chains and
+    # pre-allocated buffers — bit-identical to eager, with transparent
+    # eager fallback on shape changes.  ``--set nn.compile=false`` (or
+    # this flag) restores pure eager autograd.
+    compile_step: bool = True
+
     # Memory engine: "sparse" flushes O(touched rows) per batch; "dense"
     # is the full-matrix reference path kept for equivalence tests and
     # benchmarks.  ``dtype`` is the training/storage precision (float32

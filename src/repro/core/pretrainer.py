@@ -37,6 +37,7 @@ from ..dgnn.encoder import DGNNEncoder, make_encoder
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn.autograd import Tensor, default_dtype
+from ..nn.compile import CompiledStep
 from ..nn.optim import Adam, clip_grad_norm
 from .checkpoints import CheckpointSchedule, MemoryCheckpoints
 from .config import CPDGConfig
@@ -185,6 +186,60 @@ class CPDGPreTrainer:
         schedule = CheckpointSchedule(len(plan), cfg.num_checkpoints)
         checkpoints = MemoryCheckpoints(dtype=cfg.np_dtype)
 
+        def train_step(prepared, staged):
+            """One Algorithm-1 gradient step (the traced/replayed region).
+
+            Mutable inputs (staged raw messages) are popped by the caller
+            and passed in, so a replay mismatch can transparently re-run
+            this function for the same batch.
+            """
+            batch = prepared.batch
+            optimizer.zero_grad()
+            encoder.flush_staged(staged)
+            z_src = encoder.compute_embedding(batch.src, batch.timestamps)
+            z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
+            z_neg = encoder.compute_embedding(batch.neg_dst,
+                                              batch.timestamps)
+            memory = encoder.flush_messages()
+
+            zero = Tensor(0.0)
+            loss_eta = zero
+            if spec.sample_temporal:
+                loss_eta = contrast_loss_from_pairs(
+                    z_src, memory, *prepared.temporal_pairs,
+                    readout=cfg.readout, objective=cfg.objective,
+                    margin=cfg.margin)
+            loss_eps = zero
+            if spec.sample_structural:
+                loss_eps = contrast_loss_from_pairs(
+                    z_src, memory, *prepared.structural_pairs,
+                    readout=cfg.readout, objective=cfg.objective,
+                    margin=cfg.margin)
+            loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
+
+            loss = loss_tlp
+            if cfg.use_temporal_contrast:
+                loss = loss + (1.0 - cfg.beta) * loss_eta
+            if cfg.use_structural_contrast:
+                loss = loss + cfg.beta * loss_eps
+
+            loss.backward()
+            return loss_eta.item(), loss_eps.item(), loss_tlp.item()
+
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+
+        def step_key(prepared, staged):
+            # Every shape/branch degree of freedom of train_step: batch
+            # size, whether messages are pending, and subgraph emptiness
+            # (empty subgraphs short-circuit the readout).
+            key = (len(prepared.batch), staged is None)
+            for sg in (*(prepared.temporal_pairs if spec.sample_temporal
+                         else ()),
+                       *(prepared.structural_pairs if spec.sample_structural
+                         else ())):
+                key += (len(sg.nodes) == 0,)
+            return key
+
         history: list[tuple[float, float, float]] = []
         step = 0
         current_epoch = -1
@@ -197,43 +252,16 @@ class CPDGPreTrainer:
                         current_epoch = prepared.epoch
                         encoder.reset_memory()
                     step += 1
-                    batch = prepared.batch
-                    z_src = encoder.compute_embedding(batch.src, batch.timestamps)
-                    z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
-                    z_neg = encoder.compute_embedding(batch.neg_dst,
-                                                      batch.timestamps)
-                    memory = encoder.flush_messages()
-
-                    zero = Tensor(0.0)
-                    loss_eta = zero
-                    if spec.sample_temporal:
-                        loss_eta = contrast_loss_from_pairs(
-                            z_src, memory, *prepared.temporal_pairs,
-                            readout=cfg.readout, objective=cfg.objective,
-                            margin=cfg.margin)
-                    loss_eps = zero
-                    if spec.sample_structural:
-                        loss_eps = contrast_loss_from_pairs(
-                            z_src, memory, *prepared.structural_pairs,
-                            readout=cfg.readout, objective=cfg.objective,
-                            margin=cfg.margin)
-                    loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
-
-                    loss = loss_tlp
-                    if cfg.use_temporal_contrast:
-                        loss = loss + (1.0 - cfg.beta) * loss_eta
-                    if cfg.use_structural_contrast:
-                        loss = loss + cfg.beta * loss_eps
-
-                    optimizer.zero_grad()
-                    loss.backward()
+                    staged = encoder.take_staged()
+                    losses = compiled(prepared, staged,
+                                      key=step_key(prepared, staged))
                     clip_grad_norm(params, cfg.grad_clip)
                     optimizer.step()
 
-                    encoder.register_batch(batch, messages=prepared.messages)
+                    encoder.register_batch(prepared.batch,
+                                           messages=prepared.messages)
                     encoder.end_batch()
-                    history.append((loss_eta.item(), loss_eps.item(),
-                                    loss_tlp.item()))
+                    history.append(losses)
 
                     if schedule.should_checkpoint(step):
                         checkpoints.add(encoder.memory_checkpoint())

@@ -199,8 +199,25 @@ class DGNNEncoder(Module):
         """
         if self._flushed is not None:
             return self._flushed
+        return self.flush_staged(self._messages.pop_all())
+
+    def take_staged(self):
+        """Pop pending raw messages without applying them.
+
+        Splitting the pop (stateful, once) from the flush (pure given the
+        staged rows) lets a compiled step re-run :meth:`flush_staged`
+        after an aborted replay without losing messages: call this
+        *outside* the compiled function and pass the result in.
+        """
+        return self._messages.pop_all()
+
+    def flush_staged(self, staged) -> MemoryView:
+        """Apply ``staged`` messages (from :meth:`take_staged`) to memory.
+
+        Pure given ``staged`` and the persisted memory, hence safely
+        re-runnable within one batch; overwrites the cached batch view.
+        """
         view = self._memory.view(self.memory_engine)
-        staged = self._messages.pop_all()
         if staged is not None:
             if self.aggregator.keep_all_messages:
                 nodes, groups = staged.groups_per_node()

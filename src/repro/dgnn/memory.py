@@ -194,8 +194,11 @@ class SparseMemoryView(MemoryView):
         if self._delta_nodes is None or len(nodes) == 0:
             return base
         hit, pos = self._delta_positions(nodes)
-        if not hit.any():
-            return base
+        # No hit.any() short-circuit: the op stream must depend only on
+        # whether delta rows exist at all (a per-step key degree of
+        # freedom), not on which nodes this batch happens to overlap —
+        # otherwise replay-compiled steps mismatch whenever the overlap
+        # pattern flips.  The empty-hit ops gather and scatter 0 rows.
         rows = F.embedding_lookup(self._delta_rows, pos[hit])
         return F.scatter_rows(base, np.flatnonzero(hit), rows)
 

@@ -35,18 +35,4 @@ class TimeEncoder(Module):
         deltas = deltas if isinstance(deltas, Tensor) else Tensor(np.asarray(deltas, dtype=np.float64))
         expanded = deltas.reshape(*deltas.shape, 1)
         angles = expanded * self.omega + self.phase
-        # cos(x) = sin(x + pi/2); implement directly via exp-free cosine.
-        return _cos(angles)
-
-
-def _cos(x: Tensor) -> Tensor:
-    """Differentiable elementwise cosine."""
-    data = np.cos(x.data)
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        sin = np.sin(x.data)
-
-        def _backward(grad):
-            x._accumulate(-grad * sin)
-        out._backward = _backward
-    return out
+        return F.cos(angles)

@@ -7,14 +7,22 @@ topological-order backward pass.
 
 Design notes
 ------------
-* Broadcasting is fully supported: every binary op records the operand
-  shapes and gradients are *unbroadcast* (summed over broadcast axes) on the
-  way back.
+* Every differentiable operation is a registered :class:`Primitive` with a
+  forward kernel and a VJP (vector-Jacobian product) rule, HIPS-autograd
+  style: applying a primitive records one ``(op, inputs, output, ctx)``
+  :class:`Node` instead of a per-op backward closure.  The registry is what
+  makes the op stream *compilable* — :mod:`repro.nn.compile` traces the
+  node tape once and replays it without rebuilding the graph; it is also
+  the seam an alternative backend (numba, GPU) would plug into.
+* Broadcasting is fully supported: binary VJPs *unbroadcast* gradients
+  (sum over broadcast axes) on the way back.
 * Gradients accumulate, mirroring PyTorch semantics: calling
   :meth:`Tensor.backward` adds into ``.grad``; optimizers are expected to
   call :func:`zero_grad` between steps.
-* The graph is retained only through parent references, so dropping the
-  output tensor frees the whole graph.
+* The graph is retained only through node input references, so dropping
+  the output tensor frees the whole graph.
+* The legacy extension API (``_make_child`` + a ``_backward`` closure)
+  still works for custom ops; such ops simply cannot be compiled.
 """
 
 from __future__ import annotations
@@ -23,10 +31,43 @@ import numpy as np
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled",
            "SparseRowGrad", "default_dtype", "get_default_dtype",
-           "set_default_dtype"]
+           "set_default_dtype", "Primitive", "Node", "primitive", "defvjp",
+           "defchain", "apply_op", "graph_nodes_created"]
 
 _GRAD_ENABLED = True
 _DEFAULT_DTYPE = np.dtype(np.float64)
+
+# Monotone count of graph nodes recorded since process start.  The serving
+# path asserts this stays flat during inference (no tape allocation).
+_NODES_CREATED = 0
+
+# The active trace/replay engine (see repro.nn.compile); None = plain eager.
+_TRACER = None
+
+
+def graph_nodes_created() -> int:
+    """Total autograd nodes recorded so far (monotone counter).
+
+    Take a reading before and after a code region to assert it performed
+    no graph construction (inference paths must leave this flat).
+    """
+    return _NODES_CREATED
+
+
+def set_tracer(tracer):
+    """Install a trace/replay engine intercepting primitive application.
+
+    Returns the previously installed tracer (None when eager).  Used only
+    by :mod:`repro.nn.compile`.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def get_tracer():
+    return _TRACER
 
 
 def get_default_dtype() -> np.dtype:
@@ -160,6 +201,118 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# ----------------------------------------------------------------------
+# primitive registry
+# ----------------------------------------------------------------------
+class Primitive:
+    """One differentiable operation: a forward kernel plus its VJP rule.
+
+    ``fwd(args, params, need_ctx, out)`` maps raw input arrays to
+    ``(data, ctx)`` where ``ctx`` holds whatever the VJP needs (only
+    when ``need_ctx``).  ``out`` is an optional buffer pool handle used
+    by the compiled replay path (``out.get(shape)`` returns a reusable
+    array of the recorded output dtype); kernels may ignore it.
+
+    ``vjp(ctx, grad, needs, params)`` returns one gradient (array,
+    :class:`SparseRowGrad` or None) per input, in input order.
+
+    ``ew(ctx, params, needs, src, dst)`` — optional in-place elementwise
+    VJP used for fused backward chains: writes ``vjp(src)`` into ``dst``
+    (``dst`` may alias ``src``) assuming a single gradient-needing input
+    and no broadcasting.
+    """
+
+    __slots__ = ("name", "fwd", "vjp", "ew")
+
+    def __init__(self, name: str, fwd):
+        self.name = name
+        self.fwd = fwd
+        self.vjp = None
+        self.ew = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Primitive({self.name!r})"
+
+
+PRIMITIVES: dict[str, Primitive] = {}
+
+
+def primitive(name: str, fwd) -> Primitive:
+    """Register a new differentiable primitive under ``name``."""
+    prim = Primitive(name, fwd)
+    PRIMITIVES[name] = prim
+    return prim
+
+
+def defvjp(prim: Primitive, vjp) -> Primitive:
+    """Attach the VJP rule to ``prim`` (one gradient per input)."""
+    prim.vjp = vjp
+    return prim
+
+
+def defchain(prim: Primitive, ew) -> Primitive:
+    """Attach the in-place elementwise VJP used for fused backward chains."""
+    prim.ew = ew
+    return prim
+
+
+class Node:
+    """One recorded application of a primitive (a tape entry)."""
+
+    __slots__ = ("prim", "inputs", "ctx", "params")
+
+    def __init__(self, prim: Primitive, inputs: tuple, ctx, params):
+        self.prim = prim
+        self.inputs = inputs
+        self.ctx = ctx
+        self.params = params
+
+
+def _wrap(data) -> "Tensor":
+    """Wrap a kernel output without re-running ``Tensor.__init__`` checks."""
+    out = Tensor.__new__(Tensor)
+    out.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
+    out._grad = None
+    out.requires_grad = False
+    out._backward = None
+    out._parents = ()
+    out._node = None
+    out._slot = None
+    out.name = None
+    return out
+
+
+def _eager_apply(prim: Primitive, inputs: tuple, params) -> "Tensor":
+    """Apply ``prim`` eagerly, recording a :class:`Node` when needed."""
+    global _NODES_CREATED
+    requires = False
+    if _GRAD_ENABLED:
+        for t in inputs:
+            if t.requires_grad:
+                requires = True
+                break
+    data, ctx = prim.fwd(tuple(t.data for t in inputs), params, requires, None)
+    out = _wrap(data)
+    if requires:
+        _NODES_CREATED += 1
+        out.requires_grad = True
+        out._node = Node(prim, inputs, ctx, params)
+    return out
+
+
+def apply_op(prim: Primitive, inputs: tuple, params=None) -> "Tensor":
+    """Apply a registered primitive to tensor ``inputs``.
+
+    Dispatches to the active trace/replay engine when one is installed;
+    otherwise runs the plain eager path (fast no-graph route under
+    :class:`no_grad`).
+    """
+    tr = _TRACER
+    if tr is not None:
+        return tr.apply(prim, inputs, params)
+    return _eager_apply(prim, inputs, params)
+
+
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff.
 
@@ -172,7 +325,8 @@ class Tensor:
         Whether gradients should be accumulated into :attr:`grad`.
     """
 
-    __slots__ = ("data", "_grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "_grad", "requires_grad", "_backward", "_parents",
+                 "_node", "_slot", "name")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
@@ -182,6 +336,8 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward = None
         self._parents: tuple = ()
+        self._node: Node | None = None
+        self._slot = None
         self.name = name
 
     @property
@@ -240,7 +396,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, got "
+                f"shape {self.shape} ({self.data.size} elements)")
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
@@ -256,10 +416,17 @@ class Tensor:
     # graph plumbing
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: tuple) -> "Tensor":
-        """Create an op output, inheriting ``requires_grad`` from parents."""
+        """Create an op output, inheriting ``requires_grad`` from parents.
+
+        Legacy extension hook: custom ops may still build children this
+        way and attach a ``_backward`` closure; such ops run fine eagerly
+        but abort compiled tracing (transparent eager fallback).
+        """
+        global _NODES_CREATED
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
+            _NODES_CREATED += 1
             out._parents = parents
         return out
 
@@ -302,6 +469,10 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        tr = _TRACER
+        if tr is not None and tr.replaying:
+            tr.replay_backward(self, grad)
+            return
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
@@ -321,67 +492,51 @@ class Tensor:
                 continue
             visited.add(id(node))
             stack.append((node, True))
-            for parent in node._parents:
+            parents = node._node.inputs if node._node is not None else node._parents
+            for parent in parents:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
+        tracing = tr is not None
+        if tracing:
+            tr.begin_backward(self, grad)
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
+            tape = node._node
+            if tape is not None:
+                if node.grad is not None:
+                    if tracing:
+                        tr.note_step(node)
+                    needs = tuple(p.requires_grad for p in tape.inputs)
+                    grads = tape.prim.vjp(tape.ctx, node.grad, needs, tape.params)
+                    for parent, g in zip(tape.inputs, grads):
+                        if g is not None:
+                            parent._accumulate(g)
+            elif node._backward is not None and node.grad is not None:
+                if tracing:
+                    tr.note_step(node)
                 node._backward(node.grad)
-            # Free the closure so intermediate buffers can be collected.
+            # Free the graph entry so intermediate buffers can be collected.
             if node is not self:
                 node._backward = None
                 node._parents = ()
+                node._node = None
 
     # ------------------------------------------------------------------
     # elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out = self._make_child(self.data + other.data, (self, other))
-        if out.requires_grad:
-            a, b = self, other
-
-            def _backward(grad):
-                if a.requires_grad:
-                    a._accumulate(_unbroadcast(grad, a.shape))
-                if b.requires_grad:
-                    b._accumulate(_unbroadcast(grad, b.shape))
-
-            out._backward = _backward
-        return out
+        return apply_op(_ADD, (self, as_tensor(other)))
 
     __radd__ = __add__
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out = self._make_child(self.data * other.data, (self, other))
-        if out.requires_grad:
-            a, b = self, other
-            a_data, b_data = self.data, other.data
-
-            def _backward(grad):
-                if a.requires_grad:
-                    a._accumulate(_unbroadcast(grad * b_data, a.shape))
-                if b.requires_grad:
-                    b._accumulate(_unbroadcast(grad * a_data, b.shape))
-
-            out._backward = _backward
-        return out
+        return apply_op(_MUL, (self, as_tensor(other)))
 
     __rmul__ = __mul__
 
     def __neg__(self) -> "Tensor":
-        out = self._make_child(-self.data, (self,))
-        if out.requires_grad:
-            a = self
-
-            def _backward(grad):
-                a._accumulate(-grad)
-
-            out._backward = _backward
-        return out
+        return apply_op(_NEG, (self,))
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -398,59 +553,18 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("Tensor.__pow__ supports scalar exponents only")
-        out = self._make_child(self.data ** exponent, (self,))
-        if out.requires_grad:
-            a = self
-            a_data = self.data
-
-            def _backward(grad):
-                a._accumulate(grad * exponent * a_data ** (exponent - 1.0))
-
-            out._backward = _backward
-        return out
+        return apply_op(_POW, (self,), {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # matmul and reshaping
     # ------------------------------------------------------------------
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out = self._make_child(self.data @ other.data, (self, other))
-        if out.requires_grad:
-            a, b = self, other
-            a_data, b_data = self.data, other.data
-
-            def _backward(grad):
-                if a.requires_grad:
-                    if b_data.ndim == 1:
-                        ga = np.outer(grad, b_data) if a_data.ndim == 2 else grad * b_data
-                    else:
-                        ga = grad @ np.swapaxes(b_data, -1, -2)
-                    if a_data.ndim == 1 and ga.ndim == 2:
-                        ga = ga.sum(axis=0)
-                    a._accumulate(_unbroadcast(ga, a.shape))
-                if b.requires_grad:
-                    if a_data.ndim == 1:
-                        gb = np.outer(a_data, grad) if b_data.ndim == 2 else grad * a_data
-                    else:
-                        gb = np.swapaxes(a_data, -1, -2) @ grad
-                    b._accumulate(_unbroadcast(gb, b.shape))
-
-            out._backward = _backward
-        return out
+        return apply_op(_MATMUL, (self, as_tensor(other)))
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.shape
-        out = self._make_child(self.data.reshape(shape), (self,))
-        if out.requires_grad:
-            a = self
-
-            def _backward(grad):
-                a._accumulate(grad.reshape(original))
-
-            out._backward = _backward
-        return out
+        return apply_op(_RESHAPE, (self,), {"shape": shape})
 
     def transpose(self, *axes) -> "Tensor":
         if not axes:
@@ -458,49 +572,16 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         inverse = tuple(np.argsort(axes))
-        out = self._make_child(self.data.transpose(axes), (self,))
-        if out.requires_grad:
-            a = self
-
-            def _backward(grad):
-                a._accumulate(grad.transpose(inverse))
-
-            out._backward = _backward
-        return out
+        return apply_op(_TRANSPOSE, (self,), {"axes": axes, "inverse": inverse})
 
     def __getitem__(self, index) -> "Tensor":
-        out = self._make_child(self.data[index], (self,))
-        if out.requires_grad:
-            a = self
-            shape = self.shape
-
-            def _backward(grad):
-                full = np.zeros(shape, dtype=grad.dtype)
-                np.add.at(full, index, grad)
-                a._accumulate(full)
-
-            out._backward = _backward
-        return out
+        return apply_op(_GETITEM, (self,), {"index": index})
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
-        if out.requires_grad:
-            a = self
-            shape = self.shape
-
-            def _backward(grad):
-                g = grad
-                if axis is not None and not keepdims:
-                    axes = axis if isinstance(axis, tuple) else (axis,)
-                    for ax in sorted(a_norm(axes, len(shape))):
-                        g = np.expand_dims(g, ax)
-                a._accumulate(np.broadcast_to(g, shape).copy())
-
-            out._backward = _backward
-        return out
+        return apply_op(_SUM, (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -511,24 +592,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / max(count, 1))
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-        out = self._make_child(data, (self,))
-        if out.requires_grad:
-            a = self
-            expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(self.data.dtype)
-            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-
-            def _backward(grad):
-                g = grad
-                if axis is not None and not keepdims:
-                    axes = axis if isinstance(axis, tuple) else (axis,)
-                    for ax in sorted(a_norm(axes, a.ndim)):
-                        g = np.expand_dims(g, ax)
-                a._accumulate(mask * g)
-
-            out._backward = _backward
-        return out
+        return apply_op(_MAX, (self,), {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # comparisons (no grad; returned as plain arrays for control flow)
@@ -554,3 +618,234 @@ def a_norm(axes, ndim: int) -> tuple:
 def as_tensor(value) -> Tensor:
     """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
     return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# core primitives (tensor methods)
+# ----------------------------------------------------------------------
+def _add_fwd(args, params, need_ctx, out):
+    a, b = args
+    if out is None:
+        data = a + b
+    else:
+        data = np.add(a, b, out=out.get(np.broadcast_shapes(a.shape, b.shape)))
+    return data, ((a.shape, b.shape) if need_ctx else None)
+
+
+def _add_vjp(ctx, grad, needs, params):
+    a_shape, b_shape = ctx
+    return (_unbroadcast(grad, a_shape) if needs[0] else None,
+            _unbroadcast(grad, b_shape) if needs[1] else None)
+
+
+def _add_ew(ctx, params, needs, src, dst):
+    if dst is not src:
+        np.copyto(dst, src)
+
+
+_ADD = defchain(defvjp(primitive("add", _add_fwd), _add_vjp), _add_ew)
+
+
+def _mul_fwd(args, params, need_ctx, out):
+    a, b = args
+    if out is None:
+        data = a * b
+    else:
+        data = np.multiply(a, b,
+                           out=out.get(np.broadcast_shapes(a.shape, b.shape)))
+    return data, ((a, b) if need_ctx else None)
+
+
+def _mul_vjp(ctx, grad, needs, params):
+    a, b = ctx
+    return (_unbroadcast(grad * b, a.shape) if needs[0] else None,
+            _unbroadcast(grad * a, b.shape) if needs[1] else None)
+
+
+def _mul_ew(ctx, params, needs, src, dst):
+    a, b = ctx
+    np.multiply(src, b if needs[0] else a, out=dst)
+
+
+_MUL = defchain(defvjp(primitive("mul", _mul_fwd), _mul_vjp), _mul_ew)
+
+
+def _neg_fwd(args, params, need_ctx, out):
+    (a,) = args
+    data = -a if out is None else np.negative(a, out=out.get(a.shape))
+    return data, None
+
+
+def _neg_vjp(ctx, grad, needs, params):
+    return (-grad,)
+
+
+def _neg_ew(ctx, params, needs, src, dst):
+    np.negative(src, out=dst)
+
+
+_NEG = defchain(defvjp(primitive("neg", _neg_fwd), _neg_vjp), _neg_ew)
+
+
+def _pow_fwd(args, params, need_ctx, out):
+    (a,) = args
+    exponent = params["exponent"]
+    if out is None:
+        data = a ** exponent
+    else:
+        data = np.power(a, exponent, out=out.get(a.shape))
+    return data, ((a,) if need_ctx else None)
+
+
+def _pow_vjp(ctx, grad, needs, params):
+    (a,) = ctx
+    exponent = params["exponent"]
+    return (grad * exponent * a ** (exponent - 1.0),)
+
+
+def _pow_ew(ctx, params, needs, src, dst):
+    (a,) = ctx
+    exponent = params["exponent"]
+    np.multiply(src, exponent, out=dst)
+    dst *= a ** (exponent - 1.0)
+
+
+_POW = defchain(defvjp(primitive("pow", _pow_fwd), _pow_vjp), _pow_ew)
+
+
+def _matmul_fwd(args, params, need_ctx, out):
+    a, b = args
+    if out is None:
+        data = a @ b
+    else:
+        if a.ndim == 2 and b.ndim == 2:
+            data = np.matmul(a, b, out=out.get((a.shape[0], b.shape[1])))
+        elif a.ndim == 1 and b.ndim == 2:
+            data = np.matmul(a, b, out=out.get((b.shape[1],)))
+        elif a.ndim == 2 and b.ndim == 1:
+            data = np.matmul(a, b, out=out.get((a.shape[0],)))
+        else:
+            data = a @ b
+    return data, ((a, b) if need_ctx else None)
+
+
+def _matmul_vjp(ctx, grad, needs, params):
+    a_data, b_data = ctx
+    ga = gb = None
+    if needs[0]:
+        if b_data.ndim == 1:
+            ga = np.outer(grad, b_data) if a_data.ndim == 2 else grad * b_data
+        else:
+            ga = grad @ np.swapaxes(b_data, -1, -2)
+        if a_data.ndim == 1 and ga.ndim == 2:
+            ga = ga.sum(axis=0)
+        ga = _unbroadcast(ga, a_data.shape)
+    if needs[1]:
+        if a_data.ndim == 1:
+            gb = np.outer(a_data, grad) if b_data.ndim == 2 else grad * a_data
+        else:
+            gb = np.swapaxes(a_data, -1, -2) @ grad
+        gb = _unbroadcast(gb, b_data.shape)
+    return ga, gb
+
+
+_MATMUL = defvjp(primitive("matmul", _matmul_fwd), _matmul_vjp)
+
+
+def _reshape_fwd(args, params, need_ctx, out):
+    (a,) = args
+    return a.reshape(params["shape"]), ((a.shape,) if need_ctx else None)
+
+
+def _reshape_vjp(ctx, grad, needs, params):
+    return (grad.reshape(ctx[0]),)
+
+
+_RESHAPE = defvjp(primitive("reshape", _reshape_fwd), _reshape_vjp)
+
+
+def _transpose_fwd(args, params, need_ctx, out):
+    (a,) = args
+    return a.transpose(params["axes"]), None
+
+
+def _transpose_vjp(ctx, grad, needs, params):
+    return (grad.transpose(params["inverse"]),)
+
+
+_TRANSPOSE = defvjp(primitive("transpose", _transpose_fwd), _transpose_vjp)
+
+
+def _getitem_fwd(args, params, need_ctx, out):
+    (a,) = args
+    return a[params["index"]], ((a.shape,) if need_ctx else None)
+
+
+def _getitem_vjp(ctx, grad, needs, params):
+    full = np.zeros(ctx[0], dtype=grad.dtype)
+    np.add.at(full, params["index"], grad)
+    return (full,)
+
+
+_GETITEM = defvjp(primitive("getitem", _getitem_fwd), _getitem_vjp)
+
+
+def _reduced_shape(shape, axis, keepdims):
+    if axis is None:
+        return (1,) * len(shape) if keepdims else ()
+    axes = a_norm(axis if isinstance(axis, tuple) else (axis,), len(shape))
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
+def _sum_fwd(args, params, need_ctx, out):
+    (a,) = args
+    axis, keepdims = params["axis"], params["keepdims"]
+    if out is None:
+        data = a.sum(axis=axis, keepdims=keepdims)
+    else:
+        data = a.sum(axis=axis, keepdims=keepdims,
+                     out=out.get(_reduced_shape(a.shape, axis, keepdims)))
+    return data, ((a.shape,) if need_ctx else None)
+
+
+def _sum_vjp(ctx, grad, needs, params):
+    (shape,) = ctx
+    axis, keepdims = params["axis"], params["keepdims"]
+    g = grad
+    if axis is not None and not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        for ax in sorted(a_norm(axes, len(shape))):
+            g = np.expand_dims(g, ax)
+    return (np.broadcast_to(g, shape).copy(),)
+
+
+_SUM = defvjp(primitive("sum", _sum_fwd), _sum_vjp)
+
+
+def _max_fwd(args, params, need_ctx, out):
+    (a,) = args
+    axis, keepdims = params["axis"], params["keepdims"]
+    data = a.max(axis=axis, keepdims=keepdims)
+    ctx = None
+    if need_ctx:
+        expanded = a.max(axis=axis, keepdims=True)
+        mask = (a == expanded).astype(a.dtype)
+        mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+        ctx = (mask, a.ndim)
+    return data, ctx
+
+
+def _max_vjp(ctx, grad, needs, params):
+    mask, ndim = ctx
+    axis, keepdims = params["axis"], params["keepdims"]
+    g = grad
+    if axis is not None and not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        for ax in sorted(a_norm(axes, ndim)):
+            g = np.expand_dims(g, ax)
+    return (mask * g,)
+
+
+_MAX = defvjp(primitive("max", _max_fwd), _max_vjp)

@@ -1,15 +1,20 @@
 """Differentiable functional operations built on :mod:`repro.nn.autograd`.
 
-Each function takes and returns :class:`~repro.nn.autograd.Tensor` objects
-and registers a backward closure on the output.  Numerically delicate ops
-(softmax, log-sigmoid, logsumexp) use the standard stabilised forms.
+Every op here is a registered :class:`~repro.nn.autograd.Primitive`: a
+forward kernel plus a VJP rule in the registry, applied through
+:func:`~repro.nn.autograd.apply_op` so the compiled trace/replay engine
+(:mod:`repro.nn.compile`) sees one uniform op stream.  Elementwise ops
+additionally register an in-place chain kernel (``defchain``) that the
+compiler fuses into single-buffer backward chains.  Numerically delicate
+ops (softmax, log-sigmoid, logsumexp) use the standard stabilised forms.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .autograd import SparseRowGrad, Tensor, as_tensor
+from .autograd import (SparseRowGrad, Tensor, _unbroadcast, apply_op,
+                       as_tensor, defchain, defvjp, primitive)
 
 __all__ = [
     "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "softmax",
@@ -17,159 +22,354 @@ __all__ = [
     "clip", "sqrt", "abs_", "where", "scatter_mean", "scatter_sum",
     "scatter_max", "l2_normalize",
     "pairwise_sq_dist", "euclidean_distance", "cosine_similarity",
-    "scatter_rows",
+    "scatter_rows", "cos",
 ]
 
 
+# ----------------------------------------------------------------------
+# unary elementwise (all chain-fusable)
+# ----------------------------------------------------------------------
+def _exp_fwd(args, params, need_ctx, out):
+    (x,) = args
+    data = np.exp(x) if out is None else np.exp(x, out=out.get(x.shape))
+    return data, (data,)
+
+
+def _exp_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _exp_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_EXP = defchain(defvjp(primitive("exp", _exp_fwd), _exp_vjp), _exp_ew)
+
+
 def exp(x: Tensor) -> Tensor:
-    x = as_tensor(x)
-    data = np.exp(x.data)
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * data)
-        out._backward = _backward
-    return out
+    return apply_op(_EXP, (as_tensor(x),))
+
+
+def _log_fwd(args, params, need_ctx, out):
+    (x,) = args
+    safe = np.maximum(x, params["eps"])
+    data = np.log(safe) if out is None else np.log(safe, out=out.get(x.shape))
+    return data, ((safe,) if need_ctx else None)
+
+
+def _log_vjp(ctx, grad, needs, params):
+    return (grad / ctx[0],)
+
+
+def _log_ew(ctx, params, needs, src, dst):
+    np.divide(src, ctx[0], out=dst)
+
+
+_LOG = defchain(defvjp(primitive("log", _log_fwd), _log_vjp), _log_ew)
 
 
 def log(x: Tensor, eps: float = 1e-12) -> Tensor:
     """Natural log with a small floor to keep gradients finite."""
-    x = as_tensor(x)
-    safe = np.maximum(x.data, eps)
-    out = x._make_child(np.log(safe), (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad / safe)
-        out._backward = _backward
-    return out
+    return apply_op(_LOG, (as_tensor(x),), {"eps": eps})
+
+
+def _sqrt_fwd(args, params, need_ctx, out):
+    (x,) = args
+    clipped = np.maximum(x, 0.0)
+    if out is None:
+        data = np.sqrt(clipped)
+    else:
+        data = np.sqrt(clipped, out=out.get(x.shape))
+    return data, (data,)
+
+
+def _sqrt_vjp(ctx, grad, needs, params):
+    return (grad * 0.5 / np.maximum(ctx[0], params["eps"]),)
+
+
+def _sqrt_ew(ctx, params, needs, src, dst):
+    np.multiply(src, 0.5, out=dst)
+    dst /= np.maximum(ctx[0], params["eps"])
+
+
+_SQRT = defchain(defvjp(primitive("sqrt", _sqrt_fwd), _sqrt_vjp), _sqrt_ew)
 
 
 def sqrt(x: Tensor, eps: float = 1e-12) -> Tensor:
-    x = as_tensor(x)
-    data = np.sqrt(np.maximum(x.data, 0.0))
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * 0.5 / np.maximum(data, eps))
-        out._backward = _backward
-    return out
+    return apply_op(_SQRT, (as_tensor(x),), {"eps": eps})
+
+
+def _abs_fwd(args, params, need_ctx, out):
+    (x,) = args
+    data = np.abs(x) if out is None else np.abs(x, out=out.get(x.shape))
+    return data, ((np.sign(x),) if need_ctx else None)
+
+
+def _abs_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _abs_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_ABS = defchain(defvjp(primitive("abs", _abs_fwd), _abs_vjp), _abs_ew)
 
 
 def abs_(x: Tensor) -> Tensor:
-    x = as_tensor(x)
-    out = x._make_child(np.abs(x.data), (x,))
-    if out.requires_grad:
-        sign = np.sign(x.data)
+    return apply_op(_ABS, (as_tensor(x),))
 
-        def _backward(grad):
-            x._accumulate(grad * sign)
-        out._backward = _backward
-    return out
+
+def _tanh_fwd(args, params, need_ctx, out):
+    (x,) = args
+    data = np.tanh(x) if out is None else np.tanh(x, out=out.get(x.shape))
+    return data, (data,)
+
+
+def _tanh_vjp(ctx, grad, needs, params):
+    data = ctx[0]
+    return (grad * (1.0 - data * data),)
+
+
+def _tanh_ew(ctx, params, needs, src, dst):
+    data = ctx[0]
+    np.multiply(src, 1.0 - data * data, out=dst)
+
+
+_TANH = defchain(defvjp(primitive("tanh", _tanh_fwd), _tanh_vjp), _tanh_ew)
 
 
 def tanh(x: Tensor) -> Tensor:
-    x = as_tensor(x)
-    data = np.tanh(x.data)
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * (1.0 - data * data))
-        out._backward = _backward
-    return out
+    return apply_op(_TANH, (as_tensor(x),))
+
+
+def _sigmoid_fwd(args, params, need_ctx, out):
+    (x,) = args
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
+                    np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))))
+    return data, (data,)
+
+
+def _sigmoid_vjp(ctx, grad, needs, params):
+    data = ctx[0]
+    return (grad * data * (1.0 - data),)
+
+
+def _sigmoid_ew(ctx, params, needs, src, dst):
+    data = ctx[0]
+    np.multiply(src, data, out=dst)
+    dst *= (1.0 - data)
+
+
+_SIGMOID = defchain(defvjp(primitive("sigmoid", _sigmoid_fwd), _sigmoid_vjp),
+                    _sigmoid_ew)
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    x = as_tensor(x)
-    data = np.where(x.data >= 0, 1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
-                    np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))))
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * data * (1.0 - data))
-        out._backward = _backward
-    return out
+    return apply_op(_SIGMOID, (as_tensor(x),))
+
+
+def _relu_fwd(args, params, need_ctx, out):
+    (x,) = args
+    mask = x > 0
+    data = x * mask if out is None else np.multiply(x, mask, out=out.get(x.shape))
+    return data, ((mask,) if need_ctx else None)
+
+
+def _relu_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _relu_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_RELU = defchain(defvjp(primitive("relu", _relu_fwd), _relu_vjp), _relu_ew)
 
 
 def relu(x: Tensor) -> Tensor:
-    x = as_tensor(x)
-    mask = x.data > 0
-    out = x._make_child(x.data * mask, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * mask)
-        out._backward = _backward
-    return out
+    return apply_op(_RELU, (as_tensor(x),))
+
+
+def _leaky_relu_fwd(args, params, need_ctx, out):
+    (x,) = args
+    factor = np.where(x > 0, 1.0, params["negative_slope"])
+    if out is None:
+        data = x * factor
+    else:
+        data = np.multiply(x, factor, out=out.get(x.shape))
+    return data, ((factor,) if need_ctx else None)
+
+
+def _leaky_relu_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _leaky_relu_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_LEAKY_RELU = defchain(defvjp(primitive("leaky_relu", _leaky_relu_fwd),
+                              _leaky_relu_vjp), _leaky_relu_ew)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
-    x = as_tensor(x)
-    factor = np.where(x.data > 0, 1.0, negative_slope)
-    out = x._make_child(x.data * factor, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * factor)
-        out._backward = _backward
-    return out
+    return apply_op(_LEAKY_RELU, (as_tensor(x),),
+                    {"negative_slope": negative_slope})
+
+
+def _cos_fwd(args, params, need_ctx, out):
+    (x,) = args
+    data = np.cos(x) if out is None else np.cos(x, out=out.get(x.shape))
+    return data, ((np.sin(x),) if need_ctx else None)
+
+
+def _cos_vjp(ctx, grad, needs, params):
+    return (-grad * ctx[0],)
+
+
+def _cos_ew(ctx, params, needs, src, dst):
+    np.negative(src, out=dst)
+    dst *= ctx[0]
+
+
+_COS = defchain(defvjp(primitive("cos", _cos_fwd), _cos_vjp), _cos_ew)
+
+
+def cos(x: Tensor) -> Tensor:
+    """Elementwise cosine (the harmonic time-encoding kernel)."""
+    return apply_op(_COS, (as_tensor(x),))
+
+
+# ----------------------------------------------------------------------
+# softmax family
+# ----------------------------------------------------------------------
+def _softmax_fwd(args, params, need_ctx, out):
+    (x,) = args
+    axis = params["axis"]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    s = e.sum(axis=axis, keepdims=True)
+    data = e / s if out is None else np.divide(e, s, out=out.get(x.shape))
+    return data, (data,)
+
+
+def _softmax_vjp(ctx, grad, needs, params):
+    data = ctx[0]
+    dot = (grad * data).sum(axis=params["axis"], keepdims=True)
+    return (data * (grad - dot),)
+
+
+_SOFTMAX = defvjp(primitive("softmax", _softmax_fwd), _softmax_vjp)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    data = e / e.sum(axis=axis, keepdims=True)
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            dot = (grad * data).sum(axis=axis, keepdims=True)
-            x._accumulate(data * (grad - dot))
-        out._backward = _backward
-    return out
+    return apply_op(_SOFTMAX, (as_tensor(x),), {"axis": axis})
+
+
+def _log_softmax_fwd(args, params, need_ctx, out):
+    (x,) = args
+    axis = params["axis"]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    if out is None:
+        data = shifted - lse
+    else:
+        data = np.subtract(shifted, lse, out=out.get(x.shape))
+    return data, ((np.exp(data),) if need_ctx else None)
+
+
+def _log_softmax_vjp(ctx, grad, needs, params):
+    soft = ctx[0]
+    return (grad - soft * grad.sum(axis=params["axis"], keepdims=True),)
+
+
+_LOG_SOFTMAX = defvjp(primitive("log_softmax", _log_softmax_fwd),
+                      _log_softmax_vjp)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    data = shifted - lse
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        soft = np.exp(data)
+    return apply_op(_LOG_SOFTMAX, (as_tensor(x),), {"axis": axis})
 
-        def _backward(grad):
-            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
-        out._backward = _backward
-    return out
+
+# ----------------------------------------------------------------------
+# shape combinators
+# ----------------------------------------------------------------------
+def _concat_fwd(args, params, need_ctx, out):
+    axis = params["axis"]
+    if out is None:
+        data = np.concatenate(args, axis=axis)
+    else:
+        shape = list(args[0].shape)
+        ax = axis % len(shape)
+        shape[ax] = sum(a.shape[ax] for a in args)
+        data = np.concatenate(args, axis=axis, out=out.get(tuple(shape)))
+    ctx = None
+    if need_ctx:
+        sizes = [a.shape[axis] for a in args]
+        ctx = (np.cumsum(sizes)[:-1],)
+    return data, ctx
+
+
+def _concat_vjp(ctx, grad, needs, params):
+    pieces = np.split(grad, ctx[0], axis=params["axis"])
+    return tuple(g if need else None for g, need in zip(pieces, needs))
+
+
+_CONCAT = defvjp(primitive("concatenate", _concat_fwd), _concat_vjp)
 
 
 def concatenate(tensors, axis: int = -1) -> Tensor:
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    out = tensors[0]._make_child(data, tuple(tensors))
-    if out.requires_grad:
-        sizes = [t.shape[axis] for t in tensors]
-        splits = np.cumsum(sizes)[:-1]
+    return apply_op(_CONCAT, tuple(as_tensor(t) for t in tensors),
+                    {"axis": axis})
 
-        def _backward(grad):
-            pieces = np.split(grad, splits, axis=axis)
-            for t, g in zip(tensors, pieces):
-                if t.requires_grad:
-                    t._accumulate(g)
-        out._backward = _backward
-    return out
+
+def _stack_fwd(args, params, need_ctx, out):
+    axis = params["axis"]
+    if out is None:
+        data = np.stack(args, axis=axis)
+    else:
+        shape = list(args[0].shape)
+        shape.insert(axis % (len(shape) + 1), len(args))
+        data = np.stack(args, axis=axis, out=out.get(tuple(shape)))
+    return data, None
+
+
+def _stack_vjp(ctx, grad, needs, params):
+    axis = params["axis"]
+    pieces = np.split(grad, len(needs), axis=axis)
+    return tuple(np.squeeze(g, axis=axis) if need else None
+                 for g, need in zip(pieces, needs))
+
+
+_STACK = defvjp(primitive("stack", _stack_fwd), _stack_vjp)
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-    out = tensors[0]._make_child(data, tuple(tensors))
-    if out.requires_grad:
-        def _backward(grad):
-            pieces = np.split(grad, len(tensors), axis=axis)
-            for t, g in zip(tensors, pieces):
-                if t.requires_grad:
-                    t._accumulate(np.squeeze(g, axis=axis))
-        out._backward = _backward
-    return out
+    return apply_op(_STACK, tuple(as_tensor(t) for t in tensors),
+                    {"axis": axis})
+
+
+# ----------------------------------------------------------------------
+# gathers / scatters
+# ----------------------------------------------------------------------
+def _embedding_fwd(args, params, need_ctx, out):
+    (table,) = args
+    indices = params["indices"]
+    if out is None:
+        data = table[indices]
+    else:
+        data = np.take(table, indices, axis=0,
+                       out=out.get(indices.shape + table.shape[1:]))
+    return data, ((table.shape,) if need_ctx else None)
+
+
+def _embedding_vjp(ctx, grad, needs, params):
+    return (SparseRowGrad(ctx[0], params["indices"], grad),)
+
+
+_EMBEDDING = defvjp(primitive("embedding_lookup", _embedding_fwd),
+                    _embedding_vjp)
 
 
 def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
@@ -181,59 +381,106 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     rows from a large table never materialises the full table shape until
     ``table.grad`` is actually read.
     """
-    table = as_tensor(table)
     indices = np.asarray(indices, dtype=np.int64)
-    out = table._make_child(table.data[indices], (table,))
-    if out.requires_grad:
-        shape = table.shape
+    return apply_op(_EMBEDDING, (as_tensor(table),), {"indices": indices})
 
-        def _backward(grad):
-            table._accumulate(SparseRowGrad(shape, indices, grad))
-        out._backward = _backward
-    return out
+
+def _dropout_fwd(args, params, need_ctx, out):
+    (x,) = args
+    mask = (params["rng"].random(x.shape) >= params["p"]) / (1.0 - params["p"])
+    data = x * mask if out is None else np.multiply(x, mask, out=out.get(x.shape))
+    return data, ((mask,) if need_ctx else None)
+
+
+def _dropout_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _dropout_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_DROPOUT = defchain(defvjp(primitive("dropout", _dropout_fwd), _dropout_vjp),
+                    _dropout_ew)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x
-    x = as_tensor(x)
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    out = x._make_child(x.data * mask, (x,))
-    if out.requires_grad:
-        def _backward(grad):
-            x._accumulate(grad * mask)
-        out._backward = _backward
-    return out
+    return apply_op(_DROPOUT, (as_tensor(x),), {"p": p, "rng": rng})
+
+
+def _clip_fwd(args, params, need_ctx, out):
+    (x,) = args
+    low, high = params["low"], params["high"]
+    if out is None:
+        data = np.clip(x, low, high)
+    else:
+        data = np.clip(x, low, high, out=out.get(x.shape))
+    return data, (((x >= low) & (x <= high),) if need_ctx else None)
+
+
+def _clip_vjp(ctx, grad, needs, params):
+    return (grad * ctx[0],)
+
+
+def _clip_ew(ctx, params, needs, src, dst):
+    np.multiply(src, ctx[0], out=dst)
+
+
+_CLIP = defchain(defvjp(primitive("clip", _clip_fwd), _clip_vjp), _clip_ew)
 
 
 def clip(x: Tensor, low: float, high: float) -> Tensor:
-    x = as_tensor(x)
-    data = np.clip(x.data, low, high)
-    out = x._make_child(data, (x,))
-    if out.requires_grad:
-        mask = (x.data >= low) & (x.data <= high)
+    return apply_op(_CLIP, (as_tensor(x),), {"low": low, "high": high})
 
-        def _backward(grad):
-            x._accumulate(grad * mask)
-        out._backward = _backward
-    return out
+
+def _where_fwd(args, params, need_ctx, out):
+    a, b = args
+    condition = params["condition"]
+    return np.where(condition, a, b), ((a.shape, b.shape) if need_ctx else None)
+
+
+def _where_vjp(ctx, grad, needs, params):
+    a_shape, b_shape = ctx
+    condition = params["condition"]
+    ga = _unbroadcast(grad * condition, a_shape) if needs[0] else None
+    gb = _unbroadcast(grad * (~condition), b_shape) if needs[1] else None
+    return ga, gb
+
+
+_WHERE = defvjp(primitive("where", _where_fwd), _where_vjp)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
-    a, b = as_tensor(a), as_tensor(b)
     condition = np.asarray(condition, dtype=bool)
-    out = a._make_child(np.where(condition, a.data, b.data), (a, b))
-    if out.requires_grad:
-        from .autograd import _unbroadcast
+    return apply_op(_WHERE, (as_tensor(a), as_tensor(b)),
+                    {"condition": condition})
 
-        def _backward(grad):
-            if a.requires_grad:
-                a._accumulate(_unbroadcast(grad * condition, a.shape))
-            if b.requires_grad:
-                b._accumulate(_unbroadcast(grad * (~condition), b.shape))
-        out._backward = _backward
-    return out
+
+def _scatter_mean_fwd(args, params, need_ctx, out):
+    (values,) = args
+    groups, num_groups = params["groups"], params["num_groups"]
+    counts = np.bincount(groups, minlength=num_groups).astype(values.dtype)
+    safe_counts = np.maximum(counts, 1.0)
+    sums = np.zeros((num_groups, values.shape[-1]), dtype=values.dtype)
+    np.add.at(sums, groups, values)
+    if out is None:
+        data = sums / safe_counts[:, None]
+    else:
+        data = np.divide(sums, safe_counts[:, None], out=out.get(sums.shape))
+    return data, ((safe_counts,) if need_ctx else None)
+
+
+def _scatter_mean_vjp(ctx, grad, needs, params):
+    groups = params["groups"]
+    (safe_counts,) = ctx
+    return (grad[groups] / safe_counts[groups][:, None],)
+
+
+_SCATTER_MEAN = defvjp(primitive("scatter_mean", _scatter_mean_fwd),
+                       _scatter_mean_vjp)
 
 
 def scatter_mean(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
@@ -242,19 +489,30 @@ def scatter_mean(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     Empty buckets yield zero rows.  This is the readout primitive used for
     subgraph embeddings (paper Eq. 9/10/12/13 with mean pooling).
     """
-    values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    counts = np.bincount(groups, minlength=num_groups).astype(values.data.dtype)
-    safe_counts = np.maximum(counts, 1.0)
-    sums = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
-    np.add.at(sums, groups, values.data)
-    data = sums / safe_counts[:, None]
-    out = values._make_child(data, (values,))
-    if out.requires_grad:
-        def _backward(grad):
-            values._accumulate(grad[groups] / safe_counts[groups][:, None])
-        out._backward = _backward
-    return out
+    return apply_op(_SCATTER_MEAN, (as_tensor(values),),
+                    {"groups": groups, "num_groups": num_groups})
+
+
+def _scatter_sum_fwd(args, params, need_ctx, out):
+    (values,) = args
+    groups, num_groups = params["groups"], params["num_groups"]
+    shape = (num_groups, values.shape[-1])
+    if out is None:
+        data = np.zeros(shape, dtype=values.dtype)
+    else:
+        data = out.get(shape)
+        data.fill(0.0)
+    np.add.at(data, groups, values)
+    return data, None
+
+
+def _scatter_sum_vjp(ctx, grad, needs, params):
+    return (grad[params["groups"]],)
+
+
+_SCATTER_SUM = defvjp(primitive("scatter_sum", _scatter_sum_fwd),
+                      _scatter_sum_vjp)
 
 
 def scatter_sum(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
@@ -262,16 +520,34 @@ def scatter_sum(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
 
     The sum-pooling arm of the subgraph readout (paper Eq. 9 alternatives).
     """
-    values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    data = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
-    np.add.at(data, groups, values.data)
-    out = values._make_child(data, (values,))
-    if out.requires_grad:
-        def _backward(grad):
-            values._accumulate(grad[groups])
-        out._backward = _backward
-    return out
+    return apply_op(_SCATTER_SUM, (as_tensor(values),),
+                    {"groups": groups, "num_groups": num_groups})
+
+
+def _scatter_max_fwd(args, params, need_ctx, out):
+    (values,) = args
+    groups, num_groups = params["groups"], params["num_groups"]
+    maxes = np.full((num_groups, values.shape[-1]), -np.inf,
+                    dtype=values.dtype)
+    np.maximum.at(maxes, groups, values)
+    data = np.where(np.isneginf(maxes), 0.0, maxes)
+    ctx = None
+    if need_ctx:
+        argmask = (values == maxes[groups]).astype(values.dtype)
+        ties = np.zeros((num_groups, values.shape[-1]), dtype=values.dtype)
+        np.add.at(ties, groups, argmask)
+        argmask /= np.maximum(ties, 1.0)[groups]
+        ctx = (argmask,)
+    return data, ctx
+
+
+def _scatter_max_vjp(ctx, grad, needs, params):
+    return (grad[params["groups"]] * ctx[0],)
+
+
+_SCATTER_MAX = defvjp(primitive("scatter_max", _scatter_max_fwd),
+                      _scatter_max_vjp)
 
 
 def scatter_max(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
@@ -281,23 +557,36 @@ def scatter_max(values: Tensor, groups: np.ndarray, num_groups: int) -> Tensor:
     ``Tensor.max`` so the scatter readout is a drop-in for row-by-row
     pooling.
     """
-    values = as_tensor(values)
     groups = np.asarray(groups, dtype=np.int64)
-    maxes = np.full((num_groups, values.shape[-1]), -np.inf,
-                    dtype=values.data.dtype)
-    np.maximum.at(maxes, groups, values.data)
-    data = np.where(np.isneginf(maxes), 0.0, maxes)
-    out = values._make_child(data, (values,))
-    if out.requires_grad:
-        argmask = (values.data == maxes[groups]).astype(values.data.dtype)
-        ties = np.zeros((num_groups, values.shape[-1]), dtype=values.data.dtype)
-        np.add.at(ties, groups, argmask)
-        argmask /= np.maximum(ties, 1.0)[groups]
+    return apply_op(_SCATTER_MAX, (as_tensor(values),),
+                    {"groups": groups, "num_groups": num_groups})
 
-        def _backward(grad):
-            values._accumulate(grad[groups] * argmask)
-        out._backward = _backward
-    return out
+
+def _scatter_rows_fwd(args, params, need_ctx, out):
+    base, rows = args
+    indices = params["indices"]
+    if out is None:
+        data = base.copy()
+    else:
+        data = out.get(base.shape)
+        np.copyto(data, base)
+    data[indices] = rows
+    return data, None
+
+
+def _scatter_rows_vjp(ctx, grad, needs, params):
+    indices = params["indices"]
+    g_base = g_rows = None
+    if needs[0]:
+        g_base = grad.copy()
+        g_base[indices] = 0.0
+    if needs[1]:
+        g_rows = grad[indices]
+    return g_base, g_rows
+
+
+_SCATTER_ROWS = defvjp(primitive("scatter_rows", _scatter_rows_fwd),
+                       _scatter_rows_vjp)
 
 
 def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
@@ -307,26 +596,16 @@ def scatter_rows(base: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
     w.r.t. ``rows`` through the replaced rows.  ``indices`` must be unique.
     This is the in-graph memory write used by the DGNN memory updater.
     """
-    base = as_tensor(base)
-    rows = as_tensor(rows)
     indices = np.asarray(indices, dtype=np.int64)
     if len(np.unique(indices)) != len(indices):
         raise ValueError("scatter_rows requires unique indices")
-    data = base.data.copy()
-    data[indices] = rows.data
-    out = base._make_child(data, (base, rows))
-    if out.requires_grad:
-        def _backward(grad):
-            if base.requires_grad:
-                masked = grad.copy()
-                masked[indices] = 0.0
-                base._accumulate(masked)
-            if rows.requires_grad:
-                rows._accumulate(grad[indices])
-        out._backward = _backward
-    return out
+    return apply_op(_SCATTER_ROWS, (as_tensor(base), as_tensor(rows)),
+                    {"indices": indices})
 
 
+# ----------------------------------------------------------------------
+# compositions
+# ----------------------------------------------------------------------
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     norm_sq = (x * x).sum(axis=axis, keepdims=True)
     return x * (norm_sq + eps) ** -0.5

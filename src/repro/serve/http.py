@@ -237,6 +237,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="ingested events buffered before CSR merge")
     parser.add_argument("--no-verify-fingerprint", action="store_true",
                         help="skip the history-vs-artifact fingerprint check")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable the replay-compiled encoder pass "
+                             "(pure eager inference)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -246,7 +249,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_capacity=args.cache_capacity,
             window=args.window_ms / 1000.0,
             compaction_threshold=args.compaction_threshold,
-            verify_fingerprint=not args.no_verify_fingerprint)
+            verify_fingerprint=not args.no_verify_fingerprint,
+            compile=not args.no_compile)
     except (ServeError, ArtifactError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -40,6 +40,7 @@ from ..dgnn.encoder import make_encoder
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn.autograd import Tensor, default_dtype, no_grad
+from ..nn.compile import CompiledStep
 from ..tasks.ranking import top_k_from_scores
 from .dynamic_finder import DynamicNeighborFinder
 from .ingest import LiveIngestor
@@ -63,6 +64,7 @@ class ServeConfig:
     compaction_threshold: int = 4096     # delta events before CSR merge
     verify_fingerprint: bool = True      # history must match the artifact
     use_finetuned: bool | None = None    # None = auto (when bundle exists)
+    compile: bool = True                 # replay-compile the encoder pass
 
     def validate(self) -> None:
         if self.cache_capacity < 0:
@@ -165,6 +167,9 @@ class EmbeddingService:
                       if isinstance(encoder._edge_feats, np.ndarray) else None)
         self._ingestor = LiveIngestor(encoder, self.finder,
                                       edge_feats=edge_table)
+        self._compiled_embed = CompiledStep(self._embed_pass,
+                                            mode="inference",
+                                            enabled=self.config.compile)
         cache = None
         if self.config.cache_capacity:
             cache = EmbeddingLRU(self.config.cache_capacity,
@@ -219,16 +224,26 @@ class EmbeddingService:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _embed_pass(self, nodes: np.ndarray, ts: np.ndarray, staged):
+        """One encoder pass — the traced/replayed inference region."""
+        self.encoder.flush_staged(staged)
+        return self.encoder.compute_embedding(nodes, ts)
+
     def _compute_rows(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
         """The planner's batched kernel: one encoder pass, detached rows."""
         if len(nodes) == 0:
             return np.zeros((0, self.encoder.embed_dim), dtype=self._dtype)
         with default_dtype(self._dtype), no_grad():
-            z = self.encoder.compute_embedding(nodes, ts)
+            staged = self.encoder.take_staged()
+            z = self._compiled_embed(nodes, ts, staged,
+                                     key=(len(nodes), staged is None))
+            # Replayed outputs live in pooled buffers (valid only until
+            # the next pass) and the planner caches rows — copy out.
+            rows = np.array(z.data, copy=True)
             # Persist the flush of any pending ingested messages so the
             # store (and every later query) sees the advanced memory.
             self.encoder.end_batch()
-        return np.asarray(z.data)
+        return rows
 
     def _query_arrays(self, nodes, ts) -> tuple[np.ndarray, np.ndarray]:
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
@@ -356,6 +371,7 @@ class EmbeddingService:
                     "compactions": int(self.finder.compactions),
                 },
                 "planner": self.planner.stats.as_row(),
+                "compile": dict(self._compiled_embed.stats),
                 "cache_rows": 0 if cache is None else len(cache),
                 "ingest": self._ingestor.stats.as_row(),
             }

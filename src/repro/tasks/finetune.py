@@ -42,6 +42,9 @@ class FineTuneConfig:
     patience: int = 3
     eie_out_dim: int = 16
     seed: int = 0
+    # Trace/replay the per-batch gradient step (repro.nn.compile);
+    # bit-identical to eager with transparent fallback on shape changes.
+    compile_step: bool = True
     # Streaming batch pipeline (repro.stream): 0 = in-process production,
     # N >= 1 = spawn workers; prefetch bounds in-flight batches.
     num_workers: int = 0

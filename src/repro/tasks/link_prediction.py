@@ -24,6 +24,7 @@ from ..core.pretext import LinkPredictionHead
 from ..graph.batching import RandomDestinationSampler, chronological_batches
 from ..graph.events import EventStream
 from ..nn.autograd import Tensor, default_dtype, no_grad
+from ..nn.compile import CompiledStep
 from ..nn.optim import Adam, clip_grad_norm
 from ..datasets.splits import DownstreamSplit
 from .early_stopping import EarlyStopper
@@ -118,6 +119,23 @@ class LinkPredictionTask:
         best_states = self._state_dicts()
         history: list[dict] = []
 
+        # Memoryless encoders (static baselines, TGAT) have no staged
+        # message queue; treat them as always-empty.
+        take_staged = getattr(encoder, "take_staged", lambda: None)
+        flush_staged = getattr(encoder, "flush_staged", lambda staged: None)
+
+        def train_step(batch, staged):
+            optimizer.zero_grad()
+            flush_staged(staged)
+            z_src = self._embed(batch.src, batch.timestamps)
+            z_dst = self._embed(batch.dst, batch.timestamps)
+            z_neg = self._embed(batch.neg_dst, batch.timestamps)
+            loss = self.head.loss(z_src, z_dst, z_neg)
+            loss.backward()
+            return loss.item()
+
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+
         producer = training_producer(self.split.train, cfg,
                                      neg_candidates=self._neg_sampler.candidates)
         last_batch = producer.plan.batches_per_epoch - 1
@@ -130,17 +148,14 @@ class LinkPredictionTask:
                     epoch_loss = 0.0
                     n_batches = 0
                 batch = prepared.batch
-                z_src = self._embed(batch.src, batch.timestamps)
-                z_dst = self._embed(batch.dst, batch.timestamps)
-                z_neg = self._embed(batch.neg_dst, batch.timestamps)
-                loss = self.head.loss(z_src, z_dst, z_neg)
-                optimizer.zero_grad()
-                loss.backward()
+                staged = take_staged()
+                loss_v = compiled(batch, staged,
+                                  key=(len(batch), staged is None))
                 clip_grad_norm(params, cfg.grad_clip)
                 optimizer.step()
                 encoder.register_batch(batch)
                 encoder.end_batch()
-                epoch_loss += loss.item()
+                epoch_loss += loss_v
                 n_batches += 1
                 if prepared.batch_idx != last_batch:
                     continue

@@ -16,6 +16,7 @@ from ..graph.batching import chronological_batches
 from ..graph.events import EventStream
 from ..nn import functional as F
 from ..nn.autograd import Tensor, default_dtype, no_grad
+from ..nn.compile import CompiledStep
 from ..nn.layers import MLP
 from ..nn.losses import bce_with_logits
 from ..nn.optim import Adam, clip_grad_norm
@@ -99,6 +100,22 @@ class NodeClassificationTask:
         best_states = [m.state_dict() for m in self._all_modules()]
         history: list[dict] = []
 
+        # Memoryless encoders (static baselines, TGAT) have no staged
+        # message queue; treat them as always-empty.
+        take_staged = getattr(encoder, "take_staged", lambda: None)
+        flush_staged = getattr(encoder, "flush_staged", lambda staged: None)
+
+        def train_step(batch, staged):
+            optimizer.zero_grad()
+            flush_staged(staged)
+            z_src = self._embed(batch.src, batch.timestamps)
+            logits = self.head(z_src).reshape(-1)
+            loss = bce_with_logits(logits, batch.labels)
+            loss.backward()
+            return loss.item()
+
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+
         producer = training_producer(self.split.train, cfg)
         last_batch = producer.plan.batches_per_epoch - 1
         epoch_loss = 0.0
@@ -110,16 +127,14 @@ class NodeClassificationTask:
                     epoch_loss = 0.0
                     n_batches = 0
                 batch = prepared.batch
-                z_src = self._embed(batch.src, batch.timestamps)
-                logits = self.head(z_src).reshape(-1)
-                loss = bce_with_logits(logits, batch.labels)
-                optimizer.zero_grad()
-                loss.backward()
+                staged = take_staged()
+                loss_v = compiled(batch, staged,
+                                  key=(len(batch), staged is None))
                 clip_grad_norm(params, cfg.grad_clip)
                 optimizer.step()
                 encoder.register_batch(batch)
                 encoder.end_batch()
-                epoch_loss += loss.item()
+                epoch_loss += loss_v
                 n_batches += 1
                 if prepared.batch_idx != last_batch:
                     continue

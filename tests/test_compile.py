@@ -1,0 +1,265 @@
+"""Compiled autograd (repro.nn.compile): trace/replay correctness.
+
+The contract under test is *bit-identity*: a replayed step must produce
+exactly the floats eager execution produces — same loss history, same
+parameters, same memory — across backbones, memory engines and the
+inference fast path, with transparent eager fallback when the op stream
+diverges from the recorded program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CPDGConfig
+from repro.core.pretrainer import CPDGPreTrainer
+from repro.datasets import BipartiteInteractionGenerator, InteractionConfig
+from repro.nn import MLP, Adam, CompiledStep, Tensor, functional as F
+from repro.nn.autograd import graph_nodes_created, no_grad
+
+from .conftest import numeric_gradient
+
+
+def small_stream(num_events: int = 120):
+    config = InteractionConfig(num_users=16, num_items=12,
+                               num_events=num_events, time_span=40.0,
+                               candidate_size=8)
+    return BipartiteInteractionGenerator(config, seed=7).generate()
+
+
+def pretrain_config(engine: str, compile_step: bool) -> CPDGConfig:
+    return CPDGConfig(epochs=1, batch_size=40, num_checkpoints=2,
+                      eta=3, epsilon=3, memory_dim=12, embed_dim=12,
+                      time_dim=6, n_neighbors=6, memory_engine=engine,
+                      seed=3, compile_step=compile_step)
+
+
+def run_pretrain(stream, backbone: str, engine: str, compile_step: bool):
+    config = pretrain_config(engine, compile_step)
+    trainer = CPDGPreTrainer.from_backbone(backbone, stream.num_nodes, config)
+    return trainer.pretrain(stream)
+
+
+class TestPretrainBitIdentity:
+    """Replayed pre-training is bit-identical to eager, per backbone."""
+
+    @pytest.mark.parametrize("backbone", ["tgn", "jodie", "dyrep"])
+    @pytest.mark.parametrize("engine", ["sparse", "dense"])
+    def test_backbone_engine(self, backbone, engine):
+        stream = small_stream()
+        eager = run_pretrain(stream, backbone, engine, False)
+        compiled = run_pretrain(stream, backbone, engine, True)
+        assert eager.loss_history == compiled.loss_history
+        for key, value in eager.encoder_state.items():
+            assert np.array_equal(value, compiled.encoder_state[key]), key
+        assert np.array_equal(eager.memory_state, compiled.memory_state)
+        assert np.array_equal(eager.last_update, compiled.last_update)
+
+
+class TestCompiledStepTraining:
+    """Unit-level trace/replay semantics on a small supervised problem."""
+
+    def _problem(self):
+        rng = np.random.default_rng(0)
+        net = MLP([4, 8, 1], rng)
+        xs = rng.normal(size=(6, 5, 4))
+        ys = rng.normal(size=(6, 5, 1))
+        return net, xs, ys
+
+    def _step_fn(self, net):
+        def step(x, y):
+            net.zero_grad()
+            pred = net(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            return loss.item()
+        return step
+
+    def test_replay_matches_eager_losses_and_grads(self):
+        net, xs, ys = self._problem()
+        step = self._step_fn(net)
+        eager_losses = [step(x, y) for x, y in zip(xs, ys)]
+        eager_grads = [p.grad.copy() for p in net.parameters()]
+
+        net2, _, _ = self._problem()
+        compiled = CompiledStep(self._step_fn(net2))
+        compiled_losses = [compiled(x, y, key=x.shape)
+                           for x, y in zip(xs, ys)]
+        assert compiled_losses == eager_losses
+        for p, g in zip(net2.parameters(), eager_grads):
+            assert np.array_equal(p.grad, g)
+        assert compiled.stats["traces"] == 1
+        assert compiled.stats["replays"] == len(xs) - 1
+
+    def test_replayed_gradients_pass_gradcheck(self):
+        net, xs, ys = self._problem()
+        compiled = CompiledStep(self._step_fn(net))
+        compiled(xs[0], ys[0], key="k")
+        compiled(xs[1], ys[1], key="k")       # replayed call
+        assert compiled.stats["replays"] == 1
+        x, y = xs[1], ys[1]
+        for param in net.parameters():
+            def loss_value():
+                with no_grad():
+                    pred = net(Tensor(x))
+                    return (((pred - Tensor(y)) ** 2).mean()).item()
+            numeric = numeric_gradient(loss_value, param.data, eps=1e-6)
+            assert np.allclose(param.grad, numeric, atol=1e-5)
+
+    def test_batch_size_change_replays_bit_identically(self):
+        # A pure shape change keeps the op stream identical, so replay
+        # proceeds (buffers grow on demand) and must still match eager.
+        net, xs, ys = self._problem()
+        step = self._step_fn(net)
+        rng = np.random.default_rng(5)
+        x2, y2 = rng.normal(size=(9, 4)), rng.normal(size=(9, 1))
+        eager_a = step(xs[0], ys[0])
+        eager_b = step(x2, y2)
+        eager_grads = [p.grad.copy() for p in net.parameters()]
+
+        net2, _, _ = self._problem()
+        compiled = CompiledStep(self._step_fn(net2))
+        assert compiled(xs[0], ys[0], key="same") == eager_a
+        assert compiled(x2, y2, key="same") == eager_b
+        assert compiled.stats["mismatches"] == 0
+        assert compiled.stats["replays"] == 1
+        for p, g in zip(net2.parameters(), eager_grads):
+            assert np.array_equal(p.grad, g)
+
+    def test_op_stream_change_falls_back_and_stays_correct(self):
+        # A data-dependent branch changes the op count: replay must
+        # detect the divergence, re-run eagerly and produce eager bits.
+        def build():
+            rng = np.random.default_rng(1)
+            net = MLP([4, 4, 1], rng)
+
+            def step(x):
+                net.zero_grad()
+                loss = net(Tensor(x)).sum()
+                if x.shape[0] > 5:
+                    loss = loss * 2.0
+                loss.backward()
+                return loss.item()
+            return net, step
+
+        net_ref, ref_step = build()
+        x_small = np.linspace(-1.0, 1.0, 16).reshape(4, 4)
+        x_big = np.linspace(-1.0, 1.0, 32).reshape(8, 4)
+        ref_a = ref_step(x_small)
+        ref_b = ref_step(x_big)
+        ref_grads = [p.grad.copy() for p in net_ref.parameters()]
+
+        net2, step2 = build()
+        compiled = CompiledStep(step2)
+        assert compiled(x_small, key="k") == ref_a
+        assert compiled(x_big, key="k") == ref_b          # diverges -> eager
+        assert compiled.stats["mismatches"] == 1
+        for p, g in zip(net2.parameters(), ref_grads):
+            assert np.array_equal(p.grad, g)
+
+    def test_dead_key_after_retrace_budget(self):
+        import itertools
+        rng = np.random.default_rng(1)
+        net = MLP([4, 4, 1], rng)
+        calls = itertools.count()
+
+        def unstable(_marker):
+            net.zero_grad()
+            loss = net(Tensor(np.ones((4, 4)))).sum()
+            if next(calls) % 2:               # op count flips every run
+                loss = loss * 2.0
+            loss.backward()
+            return loss.item()
+
+        compiled = CompiledStep(unstable, max_retraces=2)
+        for _ in range(8):
+            compiled(None, key="k")
+        assert "k" in compiled._dead
+        assert compiled.stats["eager"] >= 1
+
+    def test_no_grad_inside_compiled_step(self):
+        rng = np.random.default_rng(2)
+        net = MLP([4, 6, 1], rng)
+        xs = rng.normal(size=(4, 5, 4))
+
+        def step(x):
+            net.zero_grad()
+            with no_grad():
+                scale = float(np.abs(x).mean())
+            loss = (net(Tensor(x / scale)) ** 2).mean()
+            loss.backward()
+            return loss.item()
+
+        eager = [step(x) for x in xs]
+        eager_grads = [p.grad.copy() for p in net.parameters()]
+        compiled = CompiledStep(step)
+        replayed = [compiled(x, key="k") for x in xs]
+        assert replayed == eager
+        for p, g in zip(net.parameters(), eager_grads):
+            assert np.array_equal(p.grad, g)
+
+    def test_disabled_passes_through(self):
+        net, xs, ys = self._problem()
+        compiled = CompiledStep(self._step_fn(net), enabled=False)
+        for x, y in zip(xs, ys):
+            compiled(x, y, key="k")
+        assert compiled.stats == {"traces": 0, "replays": 0,
+                                  "mismatches": 0, "eager": len(xs)}
+        assert compiled.program_size("k") is None
+
+
+class TestInferenceMode:
+    """The no-graph inference fast path."""
+
+    def _encoder_like(self):
+        rng = np.random.default_rng(4)
+        net = MLP([6, 12, 6], rng)
+        return net
+
+    def test_inference_replay_is_bit_identical_and_nodeless(self):
+        net = self._encoder_like()
+        rng = np.random.default_rng(9)
+        xs = rng.normal(size=(5, 7, 6))
+
+        def embed(x):
+            return F.tanh(net(Tensor(x)))
+
+        with no_grad():
+            eager = [embed(x).data.copy() for x in xs]
+        compiled = CompiledStep(embed, mode="inference")
+        before = graph_nodes_created()
+        with no_grad():
+            replayed = [np.array(compiled(x, key="k").data, copy=True)
+                        for x in xs]
+        assert graph_nodes_created() == before
+        for a, b in zip(eager, replayed):
+            assert np.array_equal(a, b)
+        assert compiled.stats["replays"] == len(xs) - 1
+
+    def test_backward_during_inference_trace_demotes(self):
+        net = self._encoder_like()
+
+        def bad(x):
+            net.zero_grad()
+            loss = net(Tensor(x)).sum()
+            loss.backward()
+            return loss.item()
+
+        compiled = CompiledStep(bad, mode="inference")
+        x = np.ones((3, 6))
+        value = compiled(x, key="k")            # trace fails, result stays eager
+        assert compiled.program_size("k") is None
+        assert value == pytest.approx(bad(x))
+
+
+class TestTensorItem:
+    def test_scalar_ok(self):
+        assert Tensor(2.0).item() == 2.0
+        assert Tensor(np.float32(1.5)).item() == 1.5
+
+    def test_non_scalar_raises_value_error(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).item()
+        with pytest.raises(ValueError):
+            Tensor(np.ones((2, 2))).item()

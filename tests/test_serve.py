@@ -321,6 +321,32 @@ class TestEmbeddingService:
                                        block=30)
         np.testing.assert_array_equal(service.embed(nodes, ts), offline)
 
+    def test_compiled_serving_builds_no_graph_nodes(self):
+        """Regression: the serve embed path runs fully under no_grad and
+        replays with zero autograd-node construction after the trace."""
+        from repro.nn.autograd import graph_nodes_created
+        _, pre, suffix = make_split_stream(3)
+        artifact = pretrain_artifact(pre, tiny_config("tgn"))
+        service = EmbeddingService.from_artifact(artifact, history=pre)
+        nodes = np.arange(0, NUM_NODES, 4)
+        ts = np.full(len(nodes), pre.t_max + 1.0)
+        eager_service = EmbeddingService.from_artifact(
+            artifact, history=pre, compile=False)
+        first = service.embed(nodes, ts)               # traces once
+        np.testing.assert_array_equal(first, eager_service.embed(nodes, ts))
+        eager_pre_ingest = eager_service.embed(nodes, ts + 1.0)
+        before = graph_nodes_created()
+        served = service.embed(nodes, ts + 1.0)        # replays
+        service.ingest(suffix.slice_index(0, 40))
+        served2 = service.embed(nodes, ts + 2.0)
+        assert graph_nodes_created() == before
+        np.testing.assert_array_equal(served, eager_pre_ingest)
+        eager_service.ingest(suffix.slice_index(0, 40))
+        np.testing.assert_array_equal(
+            served2, eager_service.embed(nodes, ts + 2.0))
+        stats = service.stats()["compile"]
+        assert stats["replays"] >= 1 and stats["mismatches"] == 0
+
     def test_featured_service_requires_edge_feats_on_ingest(self):
         _, pre, suffix = make_split_stream(9, edge_dim=3)
         artifact = pretrain_artifact(pre, tiny_config("tgn", edge_dim=3))
