@@ -10,7 +10,18 @@ scale ``BENCH_pretrain.json`` uses — and measures the serving hot paths:
 * **score throughput** — ``score_links`` pairs/sec;
 * **ingest throughput** — live events/sec through
   ``DynamicNeighborFinder`` append + sparse-delta memory advancement,
-  including periodic CSR compaction.
+  with **background** (generation-swapped, default) vs **synchronous**
+  CSR compaction — the fast path's p99-vs-p50 claim;
+* **top-k retrieval** — exact full-catalog scan vs the IVF shortlist
+  index (``index=True``), with measured recall@10 of the indexed path;
+* **staleness-bounded reuse** — cache hit rate of the exact policy vs a
+  bounded :class:`~repro.serve.StalenessPolicy` under an interleaved
+  query/ingest workload.
+
+``--smoke`` shrinks every scale for CI and additionally *asserts* the
+fast path's correctness anchors: a staleness bound of zero is
+bit-identical to the exact path, and a snapshot → restore round trip
+reproduces the writer's embeddings bit-for-bit.
 
 Usage::
 
@@ -34,20 +45,28 @@ from repro.serve import EmbeddingService
 SCALES = {
     "medium": dict(num_nodes=2_000, base_events=1_000, ingest_events=2_000,
                    memory_dim=32, embed_dim=32, requests=60,
-                   request_size=64, ingest_block=200),
+                   request_size=64, ingest_block=200, topk_queries=20,
+                   staleness_rounds=8, staleness_probes=256),
     "large": dict(num_nodes=400_000, base_events=600, ingest_events=2_000,
                   memory_dim=64, embed_dim=64, requests=40,
-                  request_size=64, ingest_block=200),
+                  request_size=64, ingest_block=200, topk_queries=12,
+                  staleness_rounds=8, staleness_probes=256),
 }
 
 SMOKE_SCALES = {
     "medium": dict(num_nodes=200, base_events=120, ingest_events=120,
                    memory_dim=8, embed_dim=8, requests=6,
-                   request_size=16, ingest_block=40),
+                   request_size=16, ingest_block=40, topk_queries=4,
+                   staleness_rounds=3, staleness_probes=32),
     "large": dict(num_nodes=5_000, base_events=120, ingest_events=120,
                   memory_dim=8, embed_dim=8, requests=6,
-                  request_size=16, ingest_block=40),
+                  request_size=16, ingest_block=40, topk_queries=4,
+                  staleness_rounds=3, staleness_probes=32),
 }
+
+TOPK_K = 10
+TOPK_NPROBE = 8
+STALENESS_EVENTS = 32.0
 
 
 def synthetic_stream(num_nodes: int, events: int, t_lo: float, t_hi: float,
@@ -60,7 +79,8 @@ def synthetic_stream(num_nodes: int, events: int, t_lo: float, t_hi: float,
         num_nodes=num_nodes, name=f"serve-bench-{num_nodes}n")
 
 
-def build_service(params: dict) -> tuple[EmbeddingService, EventStream]:
+def build_artifact(params: dict) -> tuple[PretrainArtifact, EventStream,
+                                          EventStream]:
     config = RunConfig(pretrain=CPDGConfig(
         epochs=1, batch_size=100, memory_dim=params["memory_dim"],
         embed_dim=params["embed_dim"], edge_dim=0, num_checkpoints=2,
@@ -76,10 +96,14 @@ def build_service(params: dict) -> tuple[EmbeddingService, EventStream]:
         dataset_name=base.name)
     live = synthetic_stream(params["num_nodes"], params["ingest_events"],
                             1000.0, 2000.0, seed=1)
-    service = EmbeddingService.from_artifact(
-        artifact, history=base,
-        compaction_threshold=max(params["ingest_block"] * 4, 64))
-    return service, live
+    return artifact, base, live
+
+
+def make_service(artifact: PretrainArtifact, base: EventStream,
+                 params: dict, **knobs) -> EmbeddingService:
+    knobs.setdefault("compaction_threshold",
+                     max(params["ingest_block"] * 4, 64))
+    return EmbeddingService.from_artifact(artifact, history=base, **knobs)
 
 
 def timed_requests(service: EmbeddingService, queries: list) -> dict:
@@ -100,39 +124,195 @@ def timed_requests(service: EmbeddingService, queries: list) -> dict:
     }
 
 
-def bench_scale(params: dict) -> dict:
-    service, live = build_service(params)
+def ingest_percentiles(service: EmbeddingService) -> dict:
+    block_ms = np.asarray(service._ingestor.stats.block_seconds) * 1e3
+    return {"p50_ms": round(float(np.percentile(block_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(block_ms, 99)), 3)}
+
+
+def bench_ingest(service: EmbeddingService, live: EventStream,
+                 block: int) -> dict:
+    t0 = time.perf_counter()
+    service.ingest(live, block_size=block)
+    elapsed = time.perf_counter() - t0
+    row = {
+        "events_per_sec": round(live.num_events / elapsed, 2),
+        "block_events": block,
+        **ingest_percentiles(service),
+        "compactions": int(service.finder.compactions),
+    }
+    if service._compactor is not None:
+        service._compactor.drain()
+        row["compactor"] = service._compactor.stats()
+    return row
+
+
+def bench_topk(service: EmbeddingService, params: dict,
+               t_start: float) -> dict:
+    """Exact full-catalog scan vs indexed shortlist, plus recall@10.
+
+    Query timestamps advance per request (as live traffic's do), so the
+    exact path re-embeds the whole catalog every query while the indexed
+    path embeds only the source + the rescored shortlist.
+    """
+    rng = np.random.default_rng(11)
+    queries = [(int(rng.integers(0, params["num_nodes"] // 2)),
+                t_start + i * 1e-3)
+               for i in range(params["topk_queries"])]
+    service.top_k(queries[0][0], t_start - 1e-3, TOPK_K)  # build the index
+    recalls, exact_s, indexed_s = [], 0.0, 0.0
+    for src, t in queries:
+        t0 = time.perf_counter()
+        exact_ids, _ = service.top_k(src, t, TOPK_K, exact=True)
+        exact_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        indexed_ids, _ = service.top_k(src, t, TOPK_K)
+        indexed_s += time.perf_counter() - t0
+        recalls.append(len(np.intersect1d(exact_ids, indexed_ids))
+                       / max(len(exact_ids), 1))
+    n = len(queries)
+    exact_qps = n / exact_s
+    indexed_qps = n / indexed_s
+    index_stats = service.stats()["index"]
+    return {
+        "k": TOPK_K,
+        "catalog": int(len(service._candidates)),
+        "exact_qps": round(exact_qps, 2),
+        "indexed_qps": round(indexed_qps, 2),
+        "speedup": round(indexed_qps / exact_qps, 2),
+        "recall_at_10": round(float(np.mean(recalls)), 4),
+        "nprobe": index_stats["nprobe"],
+        "nlist": index_stats["lists"],
+        "shortlist": service.config.index_shortlist,
+    }
+
+
+def bench_staleness(artifact: PretrainArtifact, base: EventStream,
+                    live: EventStream, params: dict) -> dict:
+    """Hit rate of exact vs bounded staleness under query/ingest rounds.
+
+    Each round re-queries a fixed probe set at a fixed timestamp (same
+    cache keys), then ingests a block.  The exact policy must recompute
+    every touched probe; the bounded policy keeps serving cached rows
+    until a probe exceeds the touch budget.
+    """
+    rng = np.random.default_rng(13)
+    # Half the probes from the live stream's endpoints (rows ingest will
+    # actually touch), half uniform — at the 400k scale a purely random
+    # probe set would almost never collide with the ingested events and
+    # both policies would measure identical hit rates.
+    active = np.unique(np.concatenate([live.src, live.dst]))
+    half = params["staleness_probes"] // 2
+    probes = np.concatenate([
+        rng.choice(active, size=min(half, len(active)), replace=False),
+        rng.integers(0, params["num_nodes"], params["staleness_probes"]
+                     - min(half, len(active)))])
+    t = float(live.timestamps[-1]) + 1.0
+    rounds = params["staleness_rounds"]
+    block = max(live.num_events // rounds, 1)
+    rates = {}
+    for name, knobs in (("exact", {}),
+                        ("bounded", {"staleness_events": STALENESS_EVENTS})):
+        service = make_service(artifact, base, params,
+                               background_compaction=False, **knobs)
+        service.embed(probes, t)
+        for lo in range(0, rounds * block, block):
+            hi = min(lo + block, live.num_events)
+            service.ingest(src=live.src[lo:hi], dst=live.dst[lo:hi],
+                           timestamps=live.timestamps[lo:hi])
+            service.embed(probes, t)
+        stats = service.planner.stats
+        rates[name] = {"hit_rate": round(stats.cache_hit_rate, 4),
+                       "stale_hits": int(stats.stale_hits)}
+        del service
+    return {"policy_events": STALENESS_EVENTS, "rounds": rounds, **rates}
+
+
+def smoke_checks(artifact: PretrainArtifact, base: EventStream,
+                 live: EventStream, params: dict, tmp_dir: Path) -> None:
+    """CI correctness anchors (smoke mode only): exactness + snapshot."""
+    probes = np.arange(0, params["num_nodes"],
+                       max(params["num_nodes"] // 64, 1))
+    t = float(live.timestamps[-1]) + 1.0
+    exact = make_service(artifact, base, params,
+                         background_compaction=False)
+    bound0 = make_service(artifact, base, params, staleness_events=0.0,
+                          staleness_time=500.0,
+                          background_compaction=False)
+    half = live.num_events // 2
+    for service in (exact, bound0):
+        service.ingest(src=live.src[:half], dst=live.dst[:half],
+                       timestamps=live.timestamps[:half])
+    a, b = exact.embed(probes, t), bound0.embed(probes, t)
+    assert np.array_equal(a, b), "staleness bound 0 diverged from exact"
+
+    path = str(tmp_dir / f"smoke-{params['num_nodes']}.npz")
+    exact.snapshot(path)
+    restored = EmbeddingService.from_snapshot(artifact, path)
+    assert np.array_equal(exact.embed(probes, t),
+                          restored.embed(probes, t)), \
+        "snapshot round trip diverged"
+    # Both replicas must also agree after ingesting the remaining live
+    # suffix (pending messages and delta state restored, not just memory).
+    for service in (exact, restored):
+        service.ingest(src=live.src[half:], dst=live.dst[half:],
+                       timestamps=live.timestamps[half:])
+    assert np.array_equal(exact.embed(probes, t),
+                          restored.embed(probes, t)), \
+        "restored replica diverged after continued ingest"
+    print(f"smoke checks passed @ {params['num_nodes']} nodes "
+          "(bound-0 exactness, snapshot round trip)")
+
+
+def bench_scale(params: dict, smoke: bool, tmp_dir: Path) -> dict:
+    artifact, base, live = build_artifact(params)
     rng = np.random.default_rng(7)
     t_query = 1000.0
 
-    # Cold pass: unique (node, ts) keys — every row computed.
-    cold_queries = [
-        (rng.integers(0, params["num_nodes"], params["request_size"]),
-         np.full(params["request_size"], t_query + i * 1e-3))
-        for i in range(params["requests"])
-    ]
-    cold = timed_requests(service, cold_queries)
-    # Warm pass: identical keys — the LRU short-circuits the encoder.
-    warm = timed_requests(service, cold_queries)
-    planner_stats = service.planner.stats
+    service = make_service(artifact, base, params, index=True,
+                           index_nprobe=TOPK_NPROBE)
+    try:
+        # Cold pass: unique (node, ts) keys — every row computed.
+        cold_queries = [
+            (rng.integers(0, params["num_nodes"], params["request_size"]),
+             np.full(params["request_size"], t_query + i * 1e-3))
+            for i in range(params["requests"])
+        ]
+        cold = timed_requests(service, cold_queries)
+        # Warm pass: identical keys — the LRU short-circuits the encoder.
+        warm = timed_requests(service, cold_queries)
+        planner_stats = service.planner.stats
 
-    # Link scoring (pairs/sec) on top of a warm cache.
-    pairs = params["request_size"]
-    t0 = time.perf_counter()
-    for i in range(max(params["requests"] // 2, 1)):
-        service.score_links(rng.integers(0, params["num_nodes"], pairs),
-                            rng.integers(0, params["num_nodes"], pairs),
-                            t_query + i * 1e-3)
-    score_elapsed = time.perf_counter() - t0
-    score_rate = (max(params["requests"] // 2, 1) * pairs) / score_elapsed
+        # Link scoring (pairs/sec) on top of a warm cache.
+        pairs = params["request_size"]
+        t0 = time.perf_counter()
+        for i in range(max(params["requests"] // 2, 1)):
+            service.score_links(
+                rng.integers(0, params["num_nodes"], pairs),
+                rng.integers(0, params["num_nodes"], pairs),
+                t_query + i * 1e-3)
+        score_elapsed = time.perf_counter() - t0
+        score_rate = (max(params["requests"] // 2, 1) * pairs) / score_elapsed
 
-    # Live ingestion: blocks through append + flush + staging.
-    block = params["ingest_block"]
-    t0 = time.perf_counter()
-    service.ingest(live, block_size=block)
-    ingest_elapsed = time.perf_counter() - t0
-    ingest_stats = service._ingestor.stats
-    block_ms = np.asarray(ingest_stats.block_seconds) * 1e3
+        # Live ingestion with background (default) compaction, then the
+        # retrieval comparison over the grown catalog.
+        ingest_bg = bench_ingest(service, live, params["ingest_block"])
+        topk = bench_topk(service, params,
+                          float(live.timestamps[-1]) + 1.0)
+    finally:
+        service.close()
+    del service
+
+    # The same ingest workload with the compaction pause on the request
+    # path — the pre-fast-path behaviour the p99 claim is made against.
+    sync = make_service(artifact, base, params,
+                        background_compaction=False)
+    ingest_sync = bench_ingest(sync, live, params["ingest_block"])
+    del sync
+
+    staleness = bench_staleness(artifact, base, live, params)
+    if smoke:
+        smoke_checks(artifact, base, live, params, tmp_dir)
 
     return {
         **{key: params[key] for key in ("num_nodes", "base_events",
@@ -142,13 +322,10 @@ def bench_scale(params: dict) -> dict:
         "embed_warm": warm,
         "cache_hit_rate": round(planner_stats.cache_hit_rate, 4),
         "score_pairs_per_sec": round(score_rate, 2),
-        "ingest": {
-            "events_per_sec": round(live.num_events / ingest_elapsed, 2),
-            "block_events": block,
-            "p50_ms": round(float(np.percentile(block_ms, 50)), 3),
-            "p99_ms": round(float(np.percentile(block_ms, 99)), 3),
-            "compactions": int(service.finder.compactions),
-        },
+        "ingest": {**ingest_bg, "background_compaction": True},
+        "ingest_sync": {**ingest_sync, "background_compaction": False},
+        "topk": topk,
+        "staleness": staleness,
     }
 
 
@@ -159,15 +336,21 @@ def main() -> int:
                         / "BENCH_serve.json")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny scales: correctness-only fast path for "
-                             "CI (no timing claims)")
+                             "CI (asserts snapshot round-trip and bound-0 "
+                             "exactness; no timing claims)")
     args = parser.parse_args()
 
     scales = SMOKE_SCALES if args.smoke else SCALES
-    cases = {name: bench_scale(params) for name, params in scales.items()}
+    tmp_dir = args.out.resolve().parent
+    cases = {name: bench_scale(params, args.smoke, tmp_dir)
+             for name, params in scales.items()}
     payload = {
         "metric": "serving throughput/latency over a pre-trained artifact "
                   "(embed queries/sec cold and warm, score pairs/sec, live "
-                  "ingest events/sec with per-block p50/p99)",
+                  "ingest events/sec with per-block p50/p99 under "
+                  "background vs synchronous compaction, exact vs indexed "
+                  "top-k with recall@10, cache hit rate per staleness "
+                  "policy)",
         "backbone": "tgn",
         "dtype": "float32",
         "smoke": bool(args.smoke),
@@ -175,11 +358,14 @@ def main() -> int:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     for name, row in cases.items():
+        topk = row["topk"]
         print(f"{name:8s} nodes={row['num_nodes']:>7d} "
               f"embed {row['embed_cold']['queries_per_sec']:>9.1f} q/s cold "
-              f"/ {row['embed_warm']['queries_per_sec']:>10.1f} q/s warm "
-              f"(hit {row['cache_hit_rate']:.2f})  "
-              f"ingest {row['ingest']['events_per_sec']:>9.1f} ev/s")
+              f"/ {row['embed_warm']['queries_per_sec']:>10.1f} q/s warm  "
+              f"ingest p99 {row['ingest']['p99_ms']:>7.2f}ms bg "
+              f"/ {row['ingest_sync']['p99_ms']:>7.2f}ms sync  "
+              f"topk x{topk['speedup']:.1f} "
+              f"(recall@10 {topk['recall_at_10']:.3f})")
     print(f"wrote {args.out}")
     return 0
 

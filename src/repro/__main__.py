@@ -170,6 +170,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         argv.append("--no-verify-fingerprint")
     if args.no_compile:
         argv.append("--no-compile")
+    argv += ["--staleness-events", str(args.staleness_events)]
+    if args.staleness_time is not None:
+        argv += ["--staleness-time", str(args.staleness_time)]
+    if args.index:
+        argv.append("--index")
+    argv += ["--index-nlist", str(args.index_nlist),
+             "--index-nprobe", str(args.index_nprobe),
+             "--index-shortlist", str(args.index_shortlist)]
+    if args.no_background_compaction:
+        argv.append("--no-background-compaction")
+    if args.restore_snapshot is not None:
+        argv += ["--restore-snapshot", args.restore_snapshot]
     if args.quiet:
         argv.append("--quiet")
     return serve_main(argv)
@@ -318,6 +330,27 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--no-compile", action="store_true",
                      help="serve with pure eager inference (no replay "
                           "compilation)")
+    srv.add_argument("--staleness-events", type=float, default=0.0,
+                     help="serve cached embeddings aged by at most this "
+                          "many ingested blocks (0 = exact)")
+    srv.add_argument("--staleness-time", type=float, default=None,
+                     help="serve cached embeddings aged by at most this "
+                          "event-time span (default: unbounded)")
+    srv.add_argument("--index", action="store_true",
+                     help="answer top_k through the coarse-quantization "
+                          "candidate index (exact full scan otherwise)")
+    srv.add_argument("--index-nlist", type=int, default=0,
+                     help="inverted lists (0 = auto ~sqrt(catalog))")
+    srv.add_argument("--index-nprobe", type=int, default=4,
+                     help="lists probed per indexed query")
+    srv.add_argument("--index-shortlist", type=int, default=128,
+                     help="candidates exactly rescored per indexed query")
+    srv.add_argument("--no-background-compaction", action="store_true",
+                     help="merge the delta CSR synchronously on the "
+                          "ingest path instead of in a background thread")
+    srv.add_argument("--restore-snapshot", metavar="FILE", default=None,
+                     help="boot from a live-state snapshot (see POST "
+                          "/snapshot) instead of the bare artifact")
     srv.add_argument("--quiet", action="store_true")
 
     fw = sub.add_parser(

@@ -326,11 +326,20 @@ class RawMessageStore:
 
     def pop_all(self) -> StagedMessages | None:
         """Concatenate and clear all staged blocks (None when empty)."""
+        staged = self.peek_all()
+        self._blocks = []
+        self._num_rows = 0
+        return staged
+
+    def peek_all(self) -> StagedMessages | None:
+        """Concatenated staged blocks *without* clearing them.
+
+        The serving snapshotter uses this to persist pending messages
+        while the live store keeps owning them.
+        """
         if not self._blocks:
             return None
         blocks = self._blocks
-        self._blocks = []
-        self._num_rows = 0
         if len(blocks) == 1:
             return blocks[0]
         return StagedMessages(

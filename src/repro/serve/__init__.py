@@ -5,28 +5,42 @@ saved :class:`~repro.api.artifact.PretrainArtifact` becomes a long-lived
 query engine whose memory keeps evolving as live events arrive.
 
 * :class:`EmbeddingService` — ``from_artifact(path)`` →
-  ``embed`` / ``score_links`` / ``top_k`` / ``ingest``;
+  ``embed`` / ``score_links`` / ``top_k`` / ``ingest``, plus
+  ``snapshot(path)`` / ``from_snapshot`` replica persistence;
 * :class:`DynamicNeighborFinder` — append-only temporal CSR (delta
   buffer + periodic compaction) with the full ``NeighborFinder`` query
   contract, so samplers and batch producers run unchanged on live graphs;
+* :class:`BackgroundCompactor` — generation-swapped delta merges off the
+  request path (the default; disable per ``ServeConfig``);
 * :class:`LiveIngestor` — replay-equivalent memory advancement through
-  the sparse-delta staging path;
+  the sparse-delta staging path, maintaining the per-row touch clocks;
 * :class:`MicroBatchPlanner` / :class:`EmbeddingLRU` — request
-  coalescing and node-keyed caching with per-touched-row invalidation;
+  coalescing and node-keyed caching with per-touched-row invalidation,
+  or bounded reuse under a non-exact :class:`StalenessPolicy`;
+* :class:`CoarseQuantIndex` — pure-numpy IVF shortlist for ``top_k``
+  over large candidate catalogs (always exactly rescored);
 * :mod:`repro.serve.http` — stdlib JSON HTTP frontend plus in-process
   and HTTP clients (``repro serve`` / ``repro-serve``).
 """
 
-from .dynamic_finder import DynamicNeighborFinder, IngestError
+from .dynamic_finder import (BackgroundCompactor, DynamicNeighborFinder,
+                             IngestError)
 from .http import HttpClient, LocalClient, main, start_http_server
+from .index import CoarseQuantIndex, IndexStats
 from .ingest import IngestStats, LiveIngestor
-from .planner import EmbeddingLRU, MicroBatchPlanner, PlannerStats
+from .planner import (EmbeddingLRU, MicroBatchPlanner, PlannerStats,
+                      StalenessPolicy)
 from .service import EmbeddingService, ServeConfig, ServeError
+from .snapshot import (SnapshotError, read_snapshot, verify_snapshot_meta,
+                       write_snapshot)
 
 __all__ = [
-    "DynamicNeighborFinder", "IngestError",
+    "DynamicNeighborFinder", "IngestError", "BackgroundCompactor",
     "LiveIngestor", "IngestStats",
-    "EmbeddingLRU", "MicroBatchPlanner", "PlannerStats",
+    "EmbeddingLRU", "MicroBatchPlanner", "PlannerStats", "StalenessPolicy",
+    "CoarseQuantIndex", "IndexStats",
     "EmbeddingService", "ServeConfig", "ServeError",
+    "SnapshotError", "read_snapshot", "write_snapshot",
+    "verify_snapshot_meta",
     "LocalClient", "HttpClient", "start_http_server", "main",
 ]

@@ -16,6 +16,17 @@ the un-compacted tail; :meth:`compact` (triggered automatically once the
 delta outgrows ``compaction_threshold`` events) merges the delta into the
 base in one vectorized O(E) pass.
 
+Compaction can also run **off the request path**: the job API splits the
+merge into :meth:`compaction_job` (snapshot the immutable base + lowered
+delta, under the service lock), :meth:`build_compaction` (the O(E) merge,
+over the snapshot only — no lock, readers keep serving the old
+generation), and :meth:`commit_compaction` (an atomic pointer swap that
+installs the merged CSR and drops exactly the delta blocks the job
+covered; events appended mid-build stay in the delta).
+:class:`BackgroundCompactor` runs that cycle on a daemon thread so ingest
+p99 no longer pays the merge pause — queries are bit-identical either
+way, the generation swap only changes *where* entries are stored.
+
 The flat-index contract is preserved exactly: ``batch_before`` returns
 ``(starts, ends)`` into a **virtual address space** in which every node's
 history is contiguous — base entries first, delta entries after — and the
@@ -31,17 +42,71 @@ concatenated event list — the property :mod:`tests.test_serve` asserts.
 
 from __future__ import annotations
 
+import threading
+import time
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import (NeighborFinder, build_temporal_csr,
                                      segment_cut)
 
-__all__ = ["DynamicNeighborFinder", "IngestError"]
+__all__ = ["BackgroundCompactor", "CompactionJob", "DynamicNeighborFinder",
+           "IngestError"]
 
 
 class IngestError(ValueError):
     """An appended event block violates the live-stream invariants."""
+
+
+@dataclass
+class CompactionJob:
+    """One generation's merge work: an immutable snapshot plus its result.
+
+    ``base`` and ``delta`` are the CSRs the job merges; ``blocks`` /
+    ``events`` record how much of the append buffer the delta covered, so
+    the commit drops exactly those blocks and keeps anything appended
+    while the build ran.
+    """
+
+    base: NeighborFinder
+    delta: NeighborFinder
+    blocks: int
+    events: int
+    merged: tuple | None = field(default=None, repr=False)
+
+
+def merge_csr(base: NeighborFinder, delta: NeighborFinder,
+              num_nodes: int) -> tuple:
+    """Merge two per-node-sorted CSRs in one vectorized pass.
+
+    Per node the merged slice is base entries followed by delta entries —
+    already the (time, event id) order a from-scratch rebuild produces
+    (delta timestamps are >= every base timestamp), so no re-sort is
+    needed.  Pure over its inputs: safe to run without any lock while
+    readers keep using ``base``.
+    """
+    bip, dip = np.asarray(base.indptr), delta.indptr
+    b_deg, d_deg = np.diff(bip), np.diff(dip)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(b_deg + d_deg, out=indptr[1:])
+    nodes_b = np.repeat(np.arange(num_nodes), b_deg)
+    nodes_d = np.repeat(np.arange(num_nodes), d_deg)
+    dest_b = (indptr[nodes_b]
+              + np.arange(len(nodes_b), dtype=np.int64) - bip[nodes_b])
+    dest_d = (indptr[nodes_d] + b_deg[nodes_d]
+              + np.arange(len(nodes_d), dtype=np.int64) - dip[nodes_d])
+    merged = {}
+    for name in ("neighbors", "times", "event_ids"):
+        b_col = np.asarray(getattr(base, name))
+        d_col = getattr(delta, name)
+        out = np.empty(len(b_col) + len(d_col), dtype=b_col.dtype)
+        out[dest_b] = b_col
+        out[dest_d] = d_col
+        merged[name] = out
+    return (indptr, merged["neighbors"], merged["times"],
+            merged["event_ids"])
 
 
 class _VirtualColumn:
@@ -99,6 +164,9 @@ class DynamicNeighborFinder:
         self._dirty = False
         self._vindptr: np.ndarray | None = None     # cached merged indptr
         self.compactions = 0
+        # When set (by BackgroundCompactor.attach), threshold crossings
+        # signal the hook instead of compacting inline.
+        self.compaction_hook = None
         # The CSR is per-node sorted, so the global max needs one full
         # scan (construction-time only).
         base_times = np.asarray(base.times)
@@ -175,7 +243,12 @@ class DynamicNeighborFinder:
         self._next_event_id += len(src)
         if self.compaction_threshold is not None \
                 and self._delta_events >= self.compaction_threshold:
-            self.compact()
+            if self.compaction_hook is not None:
+                # Off-request-path mode: signal the background compactor
+                # instead of paying the merge inside this append.
+                self.compaction_hook()
+            else:
+                self.compact()
         return event_ids
 
     def _refresh_delta(self) -> NeighborFinder | None:
@@ -196,43 +269,62 @@ class DynamicNeighborFinder:
         return self._delta
 
     def compact(self) -> None:
-        """Merge the delta CSR into the base CSR (one vectorized pass).
+        """Merge the delta CSR into the base CSR, synchronously."""
+        job = self.compaction_job()
+        if job is None:
+            return
+        self.build_compaction(job)
+        self.commit_compaction(job)
 
-        Per node the merged slice is base entries followed by delta
-        entries — already the (time, event id) order a from-scratch
-        rebuild produces, so no re-sort is needed.
+    # ------------------------------------------------------------------
+    # generation-swapped compaction (the off-request-path cycle)
+    # ------------------------------------------------------------------
+    def compaction_job(self) -> CompactionJob | None:
+        """Snapshot the current generation's merge work (hold the lock).
+
+        The returned job references the *current* base and a lowered
+        delta covering every buffered block — both immutable from here
+        on (appends only add new blocks; the base is only replaced by a
+        commit, which checks the job is still current).
         """
         delta = self._refresh_delta()
         if delta is None or self._delta_events == 0:
-            return
-        bip, dip = np.asarray(self._base.indptr), delta.indptr
-        b_deg, d_deg = np.diff(bip), np.diff(dip)
-        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-        np.cumsum(b_deg + d_deg, out=indptr[1:])
-        nodes_b = np.repeat(np.arange(self.num_nodes), b_deg)
-        nodes_d = np.repeat(np.arange(self.num_nodes), d_deg)
-        dest_b = (indptr[nodes_b]
-                  + np.arange(len(nodes_b), dtype=np.int64) - bip[nodes_b])
-        dest_d = (indptr[nodes_d] + b_deg[nodes_d]
-                  + np.arange(len(nodes_d), dtype=np.int64) - dip[nodes_d])
-        merged = {}
-        for name in ("neighbors", "times", "event_ids"):
-            b_col = np.asarray(getattr(self._base, name))
-            d_col = getattr(delta, name)
-            out = np.empty(len(b_col) + len(d_col), dtype=b_col.dtype)
-            out[dest_b] = b_col
-            out[dest_d] = d_col
-            merged[name] = out
-        self._base = NeighborFinder.from_arrays(
-            indptr, merged["neighbors"], merged["times"],
-            merged["event_ids"])
-        self._buf_src, self._buf_dst = [], []
-        self._buf_ts, self._buf_eid = [], []
+            return None
+        return CompactionJob(base=self._base, delta=delta,
+                             blocks=len(self._buf_src),
+                             events=self._delta_events)
+
+    def build_compaction(self, job: CompactionJob) -> CompactionJob:
+        """Run the O(E) merge over the job's snapshot — **no lock needed**.
+
+        Readers keep querying the old base + delta while this runs; the
+        result is installed by :meth:`commit_compaction`.
+        """
+        job.merged = merge_csr(job.base, job.delta, self.num_nodes)
+        return job
+
+    def commit_compaction(self, job: CompactionJob) -> bool:
+        """Atomically swap the merged CSR in (hold the lock).
+
+        Returns ``False`` (no-op) when the job was superseded — another
+        compaction committed first, so its base snapshot is stale.
+        Blocks appended while the build ran stay in the delta buffer.
+        """
+        if job.merged is None:
+            raise RuntimeError("commit_compaction before build_compaction")
+        if self._base is not job.base:
+            return False
+        self._base = NeighborFinder.from_arrays(*job.merged)
+        del self._buf_src[:job.blocks]
+        del self._buf_dst[:job.blocks]
+        del self._buf_ts[:job.blocks]
+        del self._buf_eid[:job.blocks]
+        self._delta_events -= job.events
         self._delta = None
-        self._delta_events = 0
-        self._dirty = False
         self._vindptr = None
+        self._dirty = bool(self._buf_src)
         self.compactions += 1
+        return True
 
     # ------------------------------------------------------------------
     # virtual flat address space
@@ -446,3 +538,93 @@ class DynamicNeighborFinder:
         """Compact, then write the merged CSR as standard graph shards."""
         self.compact()
         self._base.export(directory)
+
+
+class BackgroundCompactor:
+    """Daemon thread running the snapshot → build → commit cycle.
+
+    ``lock`` serialises the snapshot and the commit against the owner's
+    readers/writers (the service passes its engine lock); the O(E) merge
+    itself runs with the lock **released**, so ingest and queries proceed
+    against the old generation while a new base CSR is built.
+
+    :meth:`attach` points the finder's threshold hook here, so an append
+    that crosses ``compaction_threshold`` wakes the thread instead of
+    paying the merge inline — the lever that collapses ingest p99 toward
+    p50 (``BENCH_serve.json``).
+    """
+
+    def __init__(self, finder: DynamicNeighborFinder, lock,
+                 name: str = "repro-serve-compactor"):
+        self.finder = finder
+        self._lock = lock
+        self._wake = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._closed = False
+        self.generations = 0          # commits performed by this thread
+        self.superseded = 0           # builds discarded at commit time
+        self._thread = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._thread.start()
+
+    def attach(self) -> "BackgroundCompactor":
+        self.finder.compaction_hook = self.notify
+        return self
+
+    def notify(self) -> None:
+        """Request a compaction cycle (idempotent, non-blocking)."""
+        self._idle.clear()
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            self._idle.clear()
+            if self._closed:
+                self._idle.set()
+                return
+            try:
+                with self._lock:
+                    job = self.finder.compaction_job()
+                if job is not None:
+                    self.finder.build_compaction(job)
+                    with self._lock:
+                        if self.finder.commit_compaction(job):
+                            self.generations += 1
+                        else:
+                            self.superseded += 1
+            finally:
+                if not self._wake.is_set():
+                    self._idle.set()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every requested cycle has run (tests/benchmarks)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            if not self._idle.wait(remaining):
+                return False
+            # A wake posted in the set-idle race window means another
+            # cycle is still owed — keep waiting.
+            if not self._wake.is_set():
+                return True
+            time.sleep(0.001)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the thread; pending work is drained first."""
+        if self._closed:
+            return
+        self.drain(timeout)
+        self._closed = True
+        self.finder.compaction_hook = None
+        self._wake.set()
+        self._thread.join(timeout)
+
+    def stats(self) -> dict:
+        return {"generations": self.generations,
+                "superseded": self.superseded,
+                "idle": self._idle.is_set()}

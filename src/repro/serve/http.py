@@ -7,10 +7,12 @@ happens.  Endpoints:
 ====== =========== ==================================================
 POST   /embed      ``{"nodes": [...], "ts": <scalar or list>}``
 POST   /score      ``{"src": [...], "dst": [...], "ts": ...}``
-POST   /topk       ``{"src": n, "t": t, "k": k, "candidates": [...]?}``
+POST   /topk       ``{"src": n, "t": t, "k": k, "candidates": [...]?,
+                      "exact": bool?}``
 POST   /ingest     ``{"src": [...], "dst": [...], "timestamps": [...],
                       "edge_feats": [[...]]?}``
-GET    /stats      planner / cache / ingest counters
+POST   /snapshot   ``{"path": "..."}`` — persist live state to disk
+GET    /stats      planner / cache / index / compactor / ingest counters
 GET    /health     liveness probe
 ====== =========== ==================================================
 
@@ -33,6 +35,7 @@ import numpy as np
 
 from ..api.artifact import ArtifactError
 from .service import EmbeddingService, ServeError
+from .snapshot import SnapshotError
 
 __all__ = ["LocalClient", "HttpClient", "serve_forever",
            "start_http_server", "main"]
@@ -52,9 +55,10 @@ class LocalClient:
         scores = self.service.score_links(src, dst, ts)
         return {"scores": [float(s) for s in scores]}
 
-    def topk(self, src, t, k, candidates=None) -> dict:
+    def topk(self, src, t, k, candidates=None, exact=None) -> dict:
         nodes, scores = self.service.top_k(int(src), float(t), int(k),
-                                           candidates=candidates)
+                                           candidates=candidates,
+                                           exact=exact)
         return {"nodes": [int(n) for n in nodes],
                 "scores": [float(s) for s in scores]}
 
@@ -64,6 +68,11 @@ class LocalClient:
         count = self.service.ingest(src=src, dst=dst, timestamps=timestamps,
                                     edge_feats=feats)
         return {"ingested": int(count)}
+
+    def snapshot(self, path) -> dict:
+        meta = self.service.snapshot(str(path))
+        return {"path": str(path), "num_events": meta["num_events"],
+                "created_unix": meta["created_unix"]}
 
     def stats(self) -> dict:
         return self.service.stats()
@@ -120,20 +129,25 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/topk":
                 payload = self.client.topk(
                     request["src"], request["t"], request.get("k", 10),
-                    candidates=request.get("candidates"))
+                    candidates=request.get("candidates"),
+                    exact=request.get("exact"))
             elif self.path == "/ingest":
                 payload = self.client.ingest(
                     request["src"], request["dst"], request["timestamps"],
                     edge_feats=request.get("edge_feats"))
+            elif self.path == "/snapshot":
+                payload = self.client.snapshot(request["path"])
             else:
                 self._reply({"error": f"unknown path {self.path}"}, 404)
                 return
         except KeyError as exc:
             self._reply({"error": f"missing field {exc.args[0]!r}"}, 400)
             return
-        except (ServeError, ValueError, TypeError) as exc:
+        except (ServeError, SnapshotError, ValueError, TypeError,
+                OSError) as exc:
             # TypeError covers malformed JSON values (e.g. null node ids)
-            # that fail inside numpy conversion.
+            # that fail inside numpy conversion; OSError an unwritable
+            # snapshot path.
             self._reply({"error": str(exc)}, 400)
             return
         except Exception as exc:  # pragma: no cover - defensive
@@ -166,7 +180,8 @@ def serve_forever(service: EmbeddingService, host: str, port: int,
     with ThreadingHTTPServer((host, port), handler) as server:
         bound = server.server_address
         print(f"serving on http://{bound[0]}:{bound[1]} "
-              f"(POST /embed /score /topk /ingest, GET /stats /health)")
+              f"(POST /embed /score /topk /ingest /snapshot, "
+              f"GET /stats /health)")
         server.serve_forever()
 
 
@@ -197,10 +212,12 @@ class HttpClient:
         return self._post("/score", {"src": list(map(int, src)),
                                      "dst": list(map(int, dst)), "ts": ts})
 
-    def topk(self, src, t, k, candidates=None) -> dict:
+    def topk(self, src, t, k, candidates=None, exact=None) -> dict:
         payload = {"src": int(src), "t": float(t), "k": int(k)}
         if candidates is not None:
             payload["candidates"] = list(map(int, candidates))
+        if exact is not None:
+            payload["exact"] = bool(exact)
         return self._post("/topk", payload)
 
     def ingest(self, src, dst, timestamps, edge_feats=None) -> dict:
@@ -210,6 +227,9 @@ class HttpClient:
             payload["edge_feats"] = [[float(v) for v in row]
                                      for row in edge_feats]
         return self._post("/ingest", payload)
+
+    def snapshot(self, path) -> dict:
+        return self._post("/snapshot", {"path": str(path)})
 
     def stats(self) -> dict:
         return self._get("/stats")
@@ -240,18 +260,52 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-compile", action="store_true",
                         help="disable the replay-compiled encoder pass "
                              "(pure eager inference)")
+    parser.add_argument("--staleness-events", type=float, default=0.0,
+                        help="serve cached rows touched by up to this many "
+                             "ingested blocks (0 = exact, the default)")
+    parser.add_argument("--staleness-time", type=float, default=None,
+                        metavar="DT",
+                        help="event-time cap on served staleness "
+                             "(default: unbounded)")
+    parser.add_argument("--index", action="store_true",
+                        help="route default-catalog top-k through the IVF "
+                             "shortlist index (exactly rescored)")
+    parser.add_argument("--index-nlist", type=int, default=0,
+                        help="IVF inverted lists (0 = ~sqrt(catalog))")
+    parser.add_argument("--index-nprobe", type=int, default=4,
+                        help="IVF lists scanned per query")
+    parser.add_argument("--index-shortlist", type=int, default=128,
+                        help="min shortlist size exactly rescored per query")
+    parser.add_argument("--no-background-compaction", action="store_true",
+                        help="merge the adjacency delta synchronously on "
+                             "the ingest path (the pre-fast-path behavior)")
+    parser.add_argument("--restore-snapshot", metavar="FILE", default=None,
+                        help="restore live state from an EmbeddingService "
+                             "snapshot instead of replaying history")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    knobs = dict(
+        cache_capacity=args.cache_capacity,
+        window=args.window_ms / 1000.0,
+        compaction_threshold=args.compaction_threshold,
+        verify_fingerprint=not args.no_verify_fingerprint,
+        compile=not args.no_compile,
+        staleness_events=args.staleness_events,
+        index=args.index,
+        index_nlist=args.index_nlist,
+        index_nprobe=args.index_nprobe,
+        index_shortlist=args.index_shortlist,
+        background_compaction=not args.no_background_compaction)
+    if args.staleness_time is not None:
+        knobs["staleness_time"] = args.staleness_time
     try:
-        service = EmbeddingService.from_artifact(
-            args.artifact,
-            cache_capacity=args.cache_capacity,
-            window=args.window_ms / 1000.0,
-            compaction_threshold=args.compaction_threshold,
-            verify_fingerprint=not args.no_verify_fingerprint,
-            compile=not args.no_compile)
-    except (ServeError, ArtifactError, OSError) as exc:
+        if args.restore_snapshot:
+            service = EmbeddingService.from_snapshot(
+                args.artifact, args.restore_snapshot, **knobs)
+        else:
+            service = EmbeddingService.from_artifact(args.artifact, **knobs)
+    except (ServeError, SnapshotError, ArtifactError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     info = service.stats()

@@ -80,6 +80,13 @@ class LiveIngestor:
         # Growable edge-feature table (indexed by global event id); None
         # when the encoder runs featureless or on a lazy zero table.
         self._edge_feats = edge_feats
+        # Per-row staleness clocks, mutated in place so the planner can
+        # hold references: touch_count[n] counts ingested blocks that
+        # changed row n's state, touch_time[n] is the newest event time
+        # among them.  The staleness-bounded cache policy compares cache
+        # entries against these.
+        self.touch_count = np.zeros(finder.num_nodes, dtype=np.int64)
+        self.touch_time = np.zeros(finder.num_nodes, dtype=np.float64)
         self.stats = IngestStats()
 
     @property
@@ -119,6 +126,8 @@ class LiveIngestor:
             self.encoder.register_batch(batch)
             self.encoder.end_batch()
         touched = np.union1d(flushed, np.union1d(src, dst))
+        self.touch_count[touched] += 1
+        np.maximum.at(self.touch_time, touched, float(timestamps[-1]))
         elapsed = time.perf_counter() - start
         self.stats.blocks += 1
         self.stats.events += len(src)

@@ -18,6 +18,16 @@ the two:
   :meth:`EmbeddingLRU.invalidate_nodes`, so post-ingest queries recompute
   exactly the affected nodes.
 
+**Staleness-bounded reuse** (the serving fast path): with a non-exact
+:class:`StalenessPolicy` the service skips eager invalidation and the
+planner instead checks each cache hit lazily against per-row touch
+counters maintained by the ingest path — an entry whose node was touched
+by at most ``max_age_events`` events spanning at most ``max_age_time``
+event-time since it was cached is *served anyway* (counted as a
+``stale_hit``); beyond the bound it is evicted and recomputed.  The
+default policy is exact (bound = 0), which keeps the eager-invalidation
+path bit-identical to the pre-policy behaviour.
+
 The planner is deliberately synchronous per caller (every ``embed`` call
 returns its own rows); batching happens across *threads*, which is how
 the stdlib HTTP frontend achieves coalescing under concurrent load.
@@ -25,13 +35,42 @@ the stdlib HTTP frontend achieves coalescing under concurrent load.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["EmbeddingLRU", "MicroBatchPlanner", "PlannerStats"]
+__all__ = ["EmbeddingLRU", "MicroBatchPlanner", "PlannerStats",
+           "StalenessPolicy"]
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """How stale a cached embedding may be and still be served.
+
+    ``max_age_events`` bounds the number of ingested blocks that touched
+    the node's memory row since the embedding was cached;
+    ``max_age_time`` bounds the event-time span those touches cover.  A
+    cached row is served iff **both** ages are within bound.  The
+    default ``(0, inf)`` is the exact policy: any touch invalidates,
+    which the service implements eagerly (the original per-touched-row
+    invalidation), so bound = 0 is bit-identical to the exact path.  A
+    time-only policy passes ``max_age_events=math.inf`` explicitly.
+    """
+
+    max_age_events: float = 0.0
+    max_age_time: float = math.inf
+
+    def __post_init__(self):
+        if self.max_age_events < 0 or self.max_age_time < 0:
+            raise ValueError("staleness bounds must be >= 0")
+
+    @property
+    def exact(self) -> bool:
+        """True when no staleness at all is tolerated."""
+        return self.max_age_events == 0 or self.max_age_time == 0
 
 
 class EmbeddingLRU:
@@ -48,6 +87,9 @@ class EmbeddingLRU:
         self.capacity = capacity
         self.time_resolution = time_resolution
         self._rows: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        # Freshness metadata per key: the node's (touch_count, touch_time)
+        # at put time, consulted by the staleness policy at hit time.
+        self._meta: dict[tuple[int, int], tuple[int, float]] = {}
         self._node_keys: dict[int, set[tuple[int, int]]] = {}
 
     def key(self, node: int, t: float) -> tuple[int, int]:
@@ -62,20 +104,39 @@ class EmbeddingLRU:
             self._rows.move_to_end(key)
         return row
 
-    def put(self, key: tuple[int, int], row: np.ndarray) -> None:
+    def meta(self, key: tuple[int, int]) -> tuple[int, float]:
+        """``(touch_count, touch_time)`` recorded when ``key`` was cached."""
+        return self._meta.get(key, (0, 0.0))
+
+    def put(self, key: tuple[int, int], row: np.ndarray,
+            touch_count: int = 0, touch_time: float = 0.0) -> None:
         if key in self._rows:
             self._rows.move_to_end(key)
             self._rows[key] = row
+            self._meta[key] = (touch_count, touch_time)
             return
         self._rows[key] = row
+        self._meta[key] = (touch_count, touch_time)
         self._node_keys.setdefault(key[0], set()).add(key)
         if len(self._rows) > self.capacity:
             old_key, _ = self._rows.popitem(last=False)
+            self._meta.pop(old_key, None)
             keys = self._node_keys.get(old_key[0])
             if keys is not None:
                 keys.discard(old_key)
                 if not keys:
                     del self._node_keys[old_key[0]]
+
+    def drop(self, key: tuple[int, int]) -> None:
+        """Evict a single entry (a staleness-check failure)."""
+        if self._rows.pop(key, None) is None:
+            return
+        self._meta.pop(key, None)
+        keys = self._node_keys.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._node_keys[key[0]]
 
     def invalidate_nodes(self, nodes: np.ndarray) -> int:
         """Drop every cached row of the given nodes; returns drop count."""
@@ -87,10 +148,12 @@ class EmbeddingLRU:
             for key in keys:
                 if self._rows.pop(key, None) is not None:
                     dropped += 1
+                self._meta.pop(key, None)
         return dropped
 
     def clear(self) -> None:
         self._rows.clear()
+        self._meta.clear()
         self._node_keys.clear()
 
 
@@ -105,6 +168,8 @@ class PlannerStats:
     deduped: int = 0          # rows answered by another row in the same pass
     cache_hits: int = 0
     cache_misses: int = 0
+    stale_hits: int = 0       # hits served despite touches (within bound)
+    stale_evictions: int = 0  # hits evicted for exceeding the bound
 
     @property
     def cache_hit_rate(self) -> float:
@@ -117,7 +182,9 @@ class PlannerStats:
                 "deduped": self.deduped,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
-                "cache_hit_rate": round(self.cache_hit_rate, 4)}
+                "cache_hit_rate": round(self.cache_hit_rate, 4),
+                "stale_hits": self.stale_hits,
+                "stale_evictions": self.stale_evictions}
 
 
 class _Pending:
@@ -155,17 +222,34 @@ class MicroBatchPlanner:
         Lock serialising cache + compute against out-of-band state
         changes; the service passes its engine lock so ingestion and
         query passes never interleave.
+    staleness:
+        :class:`StalenessPolicy` governing how stale a cached row may be
+        and still be served.  ``None`` (or an exact policy) keeps the
+        original behaviour: hits are served unconditionally because the
+        service invalidates touched rows eagerly.
+    touch_state:
+        ``(touch_count, touch_time)`` per-node arrays maintained in
+        place by the ingest path — the clock the staleness check reads.
+        Required when ``staleness`` is a non-exact policy.
     """
 
     def __init__(self, compute, cache: EmbeddingLRU | None = None,
                  max_batch: int = 4096, window: float = 0.0,
-                 exec_lock: threading.RLock | None = None):
+                 exec_lock: threading.RLock | None = None,
+                 staleness: StalenessPolicy | None = None,
+                 touch_state: tuple[np.ndarray, np.ndarray] | None = None):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         self._compute = compute
         self.cache = cache
         self.max_batch = max_batch
         self.window = window
+        self.staleness = staleness if staleness is not None \
+            else StalenessPolicy()
+        if not self.staleness.exact and touch_state is None:
+            raise ValueError("a non-exact staleness policy needs the "
+                             "ingest path's touch_state arrays")
+        self._touch_state = touch_state
         self._lock = threading.Lock()
         self._exec_lock = exec_lock if exec_lock is not None \
             else threading.RLock()
@@ -251,12 +335,25 @@ class MicroBatchPlanner:
         with self._exec_lock:
             return self._answer_locked(nodes, ts)
 
+    def _fresh_enough(self, key: tuple[int, int]) -> bool:
+        """Staleness check for one cache hit (non-exact policies only)."""
+        counts, times = self._touch_state
+        node = key[0]
+        put_count, put_time = self.cache.meta(key)
+        age_events = int(counts[node]) - put_count
+        if age_events <= 0:
+            return True
+        policy = self.staleness
+        return (age_events <= policy.max_age_events
+                and float(times[node]) - put_time <= policy.max_age_time)
+
     def _answer_locked(self, nodes: np.ndarray, ts: np.ndarray) -> np.ndarray:
         if len(nodes) == 0:
             return self._compute(nodes, ts)
         cache = self.cache
         if cache is None:
             return self._compute(nodes, ts)
+        lazy = not self.staleness.exact
         keys = [cache.key(n, t) for n, t in zip(nodes.tolist(), ts.tolist())]
         order: dict[tuple[int, int], int] = {}
         miss_rows: list[int] = []
@@ -266,21 +363,38 @@ class MicroBatchPlanner:
                 self.stats.deduped += 1
                 continue
             row = cache.get(key)
+            if row is not None and lazy and not self._fresh_enough(key):
+                cache.drop(key)
+                self.stats.stale_evictions += 1
+                row = None
             if row is None:
                 order[key] = i
                 miss_rows.append(i)
                 self.stats.cache_misses += 1
             else:
+                if lazy and int(self._touch_state[0][key[0]]) \
+                        > cache.meta(key)[0]:
+                    self.stats.stale_hits += 1
                 cached[key] = row
                 self.stats.cache_hits += 1
         if miss_rows:
             fresh = self._compute(nodes[miss_rows], ts[miss_rows])
+            counts, times = self._touch_state if lazy else (None, None)
             for j, i in enumerate(miss_rows):
                 # Copy: a view would pin the whole pass's result array in
                 # the cache for as long as any one row survives.
                 row = fresh[j].copy()
                 cached[keys[i]] = row
-                cache.put(keys[i], row)
+                node = keys[i][0]
+                if lazy:
+                    # Freshness baseline: the newest touch this row's
+                    # value has seen.  A later touch at event time tau
+                    # ages the entry by tau - baseline, regardless of
+                    # the (possibly future) query timestamp.
+                    cache.put(keys[i], row, int(counts[node]),
+                              float(times[node]))
+                else:
+                    cache.put(keys[i], row)
         return np.stack([cached[key] for key in keys])
 
     def invalidate(self, nodes: np.ndarray) -> int:

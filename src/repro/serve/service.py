@@ -22,11 +22,33 @@ path, and exactly the touched cache rows are invalidated.  Serve-time
 ingestion is replay-equivalent — embeddings after ingesting a suffix are
 bit-identical to an offline replay over the concatenated stream (asserted
 in ``tests/test_serve.py``).
+
+**The serving fast path** stacks three optional trade-offs on top, each
+off by default and each leaving the exact path available:
+
+* a non-exact :class:`~repro.serve.planner.StalenessPolicy`
+  (``staleness_events`` / ``staleness_time``) lets the cache serve rows
+  whose inputs changed within a bound instead of recomputing — ingest
+  stops eagerly invalidating and the planner checks hits lazily against
+  the ingest path's per-row touch clocks;
+* ``index=True`` routes default-catalog ``top_k`` through a
+  :class:`~repro.serve.index.CoarseQuantIndex` shortlist (IVF over
+  destination embeddings, maintained incrementally by ingest) that is
+  then **exactly rescored**, capping per-query cost on large catalogs;
+* ``background_compaction`` (default on) moves
+  ``DynamicNeighborFinder`` delta merges onto a generation-swapped
+  background build so ingest requests never pay the compaction pause.
+
+``snapshot(path)`` / :meth:`EmbeddingService.from_snapshot` persist and
+restore the whole live state (memory, pending messages, adjacency,
+feature table, candidates, touch clocks — all flat arrays) so a replica
+restarts without replaying its ingested history.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
 from dataclasses import dataclass
 
@@ -36,15 +58,17 @@ from ..api.artifact import PretrainArtifact, stream_fingerprint
 from ..api.data import resolve_data
 from ..core.eie import EIEModule
 from ..core.pretext import LinkPredictionHead
-from ..dgnn.encoder import make_encoder
+from ..dgnn.encoder import ZeroEdgeFeatures, make_encoder
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn.autograd import Tensor, default_dtype, no_grad
 from ..nn.compile import CompiledStep
 from ..tasks.ranking import top_k_from_scores
-from .dynamic_finder import DynamicNeighborFinder
+from .dynamic_finder import BackgroundCompactor, DynamicNeighborFinder
+from .index import CoarseQuantIndex
 from .ingest import LiveIngestor
-from .planner import EmbeddingLRU, MicroBatchPlanner
+from .planner import EmbeddingLRU, MicroBatchPlanner, StalenessPolicy
+from .snapshot import read_snapshot, verify_snapshot_meta, write_snapshot
 
 __all__ = ["ServeConfig", "ServeError", "EmbeddingService"]
 
@@ -65,6 +89,14 @@ class ServeConfig:
     verify_fingerprint: bool = True      # history must match the artifact
     use_finetuned: bool | None = None    # None = auto (when bundle exists)
     compile: bool = True                 # replay-compile the encoder pass
+    # --- serving fast path -------------------------------------------
+    staleness_events: float = 0.0        # cached-row touch budget (0=exact)
+    staleness_time: float = math.inf     # event-time cap on those touches
+    index: bool = False                  # IVF shortlist for default top_k
+    index_nlist: int = 0                 # inverted lists (0 = ~sqrt(N))
+    index_nprobe: int = 4                # lists scanned per query
+    index_shortlist: int = 128           # min candidates exactly rescored
+    background_compaction: bool = True   # delta merges off the request path
 
     def validate(self) -> None:
         if self.cache_capacity < 0:
@@ -73,6 +105,18 @@ class ServeConfig:
             raise ServeError("max_batch must be >= 1")
         if self.window < 0:
             raise ServeError("window must be >= 0")
+        if self.staleness_events < 0 or self.staleness_time < 0:
+            raise ServeError("staleness bounds must be >= 0")
+        if self.index_nlist < 0:
+            raise ServeError("index_nlist must be >= 0 (0 = auto)")
+        if self.index_nprobe < 1:
+            raise ServeError("index_nprobe must be >= 1")
+        if self.index_shortlist < 1:
+            raise ServeError("index_shortlist must be >= 1")
+
+    @property
+    def staleness_policy(self) -> StalenessPolicy:
+        return StalenessPolicy(self.staleness_events, self.staleness_time)
 
 
 class EmbeddingService:
@@ -86,40 +130,47 @@ class EmbeddingService:
     history:
         The event stream the artifact was pre-trained on — the service's
         initial temporal adjacency.  Resolved from the artifact's
-        embedded data config when omitted.
+        embedded data config when omitted.  Unused (and not required)
+        when restoring from a snapshot.
     config:
         :class:`ServeConfig` runtime knobs.
     """
 
     def __init__(self, artifact: PretrainArtifact,
                  history: EventStream | None = None,
-                 config: ServeConfig | None = None):
+                 config: ServeConfig | None = None, *, _snapshot=None):
         self.config = config if config is not None else ServeConfig()
         self.config.validate()
         self.artifact = artifact
-        if history is None:
-            history = resolve_data(artifact.run_config.data).pretrain
-        if self.config.verify_fingerprint and artifact.dataset_fingerprint:
-            fingerprint = stream_fingerprint(history)
-            # v1 artifacts recorded the legacy topology-only hash, so a
-            # feature-bearing history must also be accepted under it.
-            legacy = (stream_fingerprint(history, include_payloads=False)
-                      if artifact.format_version < 2 else fingerprint)
-            if artifact.dataset_fingerprint not in (fingerprint, legacy):
+        restoring = _snapshot is not None
+        if not restoring:
+            if history is None:
+                history = resolve_data(artifact.run_config.data).pretrain
+            if self.config.verify_fingerprint \
+                    and artifact.dataset_fingerprint:
+                fingerprint = stream_fingerprint(history)
+                # v1 artifacts recorded the legacy topology-only hash, so
+                # a feature-bearing history must also be accepted under
+                # it.
+                legacy = (stream_fingerprint(history,
+                                             include_payloads=False)
+                          if artifact.format_version < 2 else fingerprint)
+                if artifact.dataset_fingerprint not in (fingerprint, legacy):
+                    raise ServeError(
+                        f"history stream fingerprint {fingerprint} does "
+                        f"not match the artifact's "
+                        f"{artifact.dataset_fingerprint}; pass the "
+                        "pre-training stream (or disable "
+                        "verify_fingerprint)")
+            if history.num_nodes > artifact.num_nodes:
                 raise ServeError(
-                    f"history stream fingerprint {fingerprint} does not "
-                    f"match the artifact's {artifact.dataset_fingerprint}; "
-                    "pass the pre-training stream (or disable "
-                    "verify_fingerprint)")
-        if history.num_nodes > artifact.num_nodes:
-            raise ServeError(
-                f"history node space ({history.num_nodes}) exceeds the "
-                f"artifact's ({artifact.num_nodes})")
-        if history.num_nodes < artifact.num_nodes:
-            # Widen the finder to the artifact's node space so later
-            # ingestion may introduce ids the history never used.
-            history = dataclasses.replace(history,
-                                          num_nodes=artifact.num_nodes)
+                    f"history node space ({history.num_nodes}) exceeds "
+                    f"the artifact's ({artifact.num_nodes})")
+            if history.num_nodes < artifact.num_nodes:
+                # Widen the finder to the artifact's node space so later
+                # ingestion may introduce ids the history never used.
+                history = dataclasses.replace(history,
+                                              num_nodes=artifact.num_nodes)
 
         run_config = artifact.run_config
         pretrain_cfg = run_config.pretrain
@@ -155,21 +206,32 @@ class EmbeddingService:
             self._eie: EIEModule | None = None
             if use_ft:
                 self._load_head(bundle, rng)
-
-        self.finder = DynamicNeighborFinder(
-            NeighborFinder(history),
-            compaction_threshold=self.config.compaction_threshold)
-        encoder.attach(history, self.finder)
         self.encoder = encoder
-        self._candidates = np.unique(history.dst)
+
+        if restoring:
+            edge_table = self._restore_live_state(_snapshot)
+        else:
+            self.finder = DynamicNeighborFinder(
+                NeighborFinder(history),
+                compaction_threshold=self.config.compaction_threshold)
+            encoder.attach(history, self.finder)
+            self._candidates = np.unique(history.dst)
+            edge_table = (encoder._edge_feats
+                          if isinstance(encoder._edge_feats, np.ndarray)
+                          else None)
+            self._snapshot_meta = {"restored": False}
+
         self._lock = threading.RLock()
-        edge_table = (encoder._edge_feats
-                      if isinstance(encoder._edge_feats, np.ndarray) else None)
         self._ingestor = LiveIngestor(encoder, self.finder,
                                       edge_feats=edge_table)
+        if restoring:
+            _, data = _snapshot
+            self._ingestor.touch_count[:] = data["touch_count"]
+            self._ingestor.touch_time[:] = data["touch_time"]
         self._compiled_embed = CompiledStep(self._embed_pass,
                                             mode="inference",
                                             enabled=self.config.compile)
+        self._staleness = self.config.staleness_policy
         cache = None
         if self.config.cache_capacity:
             cache = EmbeddingLRU(self.config.cache_capacity,
@@ -177,7 +239,66 @@ class EmbeddingService:
         self.planner = MicroBatchPlanner(
             self._compute_rows, cache=cache,
             max_batch=self.config.max_batch, window=self.config.window,
-            exec_lock=self._lock)
+            exec_lock=self._lock, staleness=self._staleness,
+            touch_state=(self._ingestor.touch_count,
+                         self._ingestor.touch_time))
+        self._index: CoarseQuantIndex | None = None
+        self._index_dirty = np.empty(0, dtype=np.int64)
+        self._compactor: BackgroundCompactor | None = None
+        if self.config.background_compaction:
+            self._compactor = BackgroundCompactor(self.finder,
+                                                  self._lock).attach()
+
+    def _restore_live_state(self, snapshot) -> np.ndarray | None:
+        """Rebuild finder / memory / staged messages from snapshot arrays.
+
+        Returns the restored edge-feature table (``None`` for featureless
+        or lazy-zero services).  Replaces the replay of ingested history:
+        every array is installed as-is, so the restored replica is
+        bit-identical to the one that wrote the snapshot.
+        """
+        meta, data = snapshot
+        encoder = self.encoder
+        base = NeighborFinder.from_arrays(
+            np.asarray(data["base_indptr"]),
+            np.asarray(data["base_neighbors"]),
+            np.asarray(data["base_times"]),
+            np.asarray(data["base_event_ids"]))
+        self.finder = DynamicNeighborFinder(
+            base, compaction_threshold=self.config.compaction_threshold)
+        if len(data["delta_src"]):
+            self.finder.append(np.asarray(data["delta_src"]),
+                               np.asarray(data["delta_dst"]),
+                               np.asarray(data["delta_ts"]),
+                               np.asarray(data["delta_eid"]))
+        encoder._finder = self.finder
+        edge_table = None
+        if meta["edge_mode"] == "table":
+            edge_table = np.asarray(data["edge_feats"])
+            encoder._edge_feats = edge_table
+        elif meta["edge_mode"] == "zero":
+            encoder._edge_feats = ZeroEdgeFeatures(encoder.edge_dim)
+        else:
+            encoder._edge_feats = None
+        encoder.load_memory(np.asarray(data["memory_state"]),
+                            np.asarray(data["last_update"]))
+        if meta.get("has_staged"):
+            edge = (np.asarray(data["staged_edge_feat"])
+                    if meta.get("staged_has_edge") else None)
+            encoder._messages.stage(
+                np.asarray(data["staged_nodes"]),
+                np.asarray(data["staged_self_state"]),
+                np.asarray(data["staged_other_state"]),
+                np.asarray(data["staged_delta_t"]),
+                np.asarray(data["staged_time"]),
+                np.asarray(data["staged_event_ids"]), edge)
+        self._candidates = np.asarray(data["candidates"], dtype=np.int64)
+        self._snapshot_meta = {
+            "restored": True,
+            "events_at_restore": int(meta["num_events"]),
+            "created_unix": float(meta["created_unix"]),
+        }
+        return edge_table
 
     def _load_head(self, bundle, rng: np.random.Generator) -> None:
         """Rebuild the fine-tuned scoring head (+ EIE) from the bundle."""
@@ -220,6 +341,44 @@ class EmbeddingService:
             config = dataclasses.replace(config if config is not None
                                          else ServeConfig(), **knobs)
         return cls(artifact, history=history, config=config)
+
+    @classmethod
+    def from_snapshot(cls, artifact: PretrainArtifact | str,
+                      snapshot_path: str,
+                      config: ServeConfig | None = None,
+                      **knobs) -> "EmbeddingService":
+        """Restore a replica from :meth:`snapshot` output — no replay.
+
+        The artifact supplies the frozen parameters; every piece of live
+        state (memory, pending messages, adjacency, features, candidate
+        catalog, staleness clocks) comes from the snapshot file.
+        """
+        if isinstance(artifact, str):
+            artifact = PretrainArtifact.load(artifact)
+        if knobs:
+            config = dataclasses.replace(config if config is not None
+                                         else ServeConfig(), **knobs)
+        meta, data = read_snapshot(snapshot_path)
+        try:
+            verify_snapshot_meta(meta, artifact)
+            return cls(artifact, config=config, _snapshot=(meta, data))
+        finally:
+            data.close()
+
+    def snapshot(self, path: str) -> dict:
+        """Write the live state to ``path`` (npz); returns the meta dict.
+
+        Taken under the service lock, so the arrays form one consistent
+        cut between ingested blocks.
+        """
+        with self._lock:
+            return write_snapshot(self, path)
+
+    def close(self) -> None:
+        """Stop background machinery (the compactor thread)."""
+        if self._compactor is not None:
+            self._compactor.close()
+            self._compactor = None
 
     # ------------------------------------------------------------------
     # queries
@@ -296,23 +455,87 @@ class EmbeddingService:
                                       self._enhanced(z_dst, dst))
         return np.asarray(scores.data, dtype=np.float64)
 
+    # ------------------------------------------------------------------
+    # top-k retrieval (exact scan or IVF shortlist + exact rescore)
+    # ------------------------------------------------------------------
     def top_k(self, src: int, t: float, k: int,
-              candidates: np.ndarray | None = None
+              candidates: np.ndarray | None = None,
+              exact: bool | None = None
               ) -> tuple[np.ndarray, np.ndarray]:
         """The ``k`` highest-scoring destinations for ``src`` at ``t``.
 
         ``candidates`` defaults to every destination observed so far
-        (history + ingested events).  Returns ``(node_ids, scores)``,
-        best first.
+        (history + ingested events); explicit candidate sets are always
+        scanned exactly.  ``exact`` overrides the config's ``index``
+        choice for this query.  Returns ``(node_ids, scores)``, best
+        first — empty (never an error) when there are no candidates or
+        ``k == 0``; fewer than ``k`` rows when the candidate set is
+        smaller than ``k``.
         """
+        if k < 0:
+            raise ServeError("k must be >= 0")
+        explicit = candidates is not None
         if candidates is None:
             candidates = self._candidates
         candidates = np.asarray(candidates, dtype=np.int64)
-        if len(candidates) == 0:
-            raise ServeError("no candidate destinations to rank")
+        if k == 0 or len(candidates) == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        use_index = (self.config.index if exact is None else not exact)
+        if use_index and not explicit and k < len(candidates):
+            shortlist = self._indexed_shortlist(int(src), float(t), int(k))
+            # A probe that surfaced fewer than k ids cannot answer the
+            # query — fall back to the exact full scan.
+            if len(shortlist) >= k:
+                candidates = shortlist
         scores = self.score_links(np.full(len(candidates), int(src)),
                                   candidates, float(t))
         return top_k_from_scores(candidates, scores, k)
+
+    def _embed_catalog(self, nodes: np.ndarray, t: float) -> np.ndarray:
+        """Embed catalog rows at ``t`` through the planner (cache-warm)."""
+        return self.planner.embed(np.asarray(nodes, dtype=np.int64),
+                                  np.full(len(nodes), float(t)))
+
+    def _indexed_shortlist(self, src: int, t: float, k: int) -> np.ndarray:
+        """Maintain the IVF index and return the approximate shortlist.
+
+        Embedding passes run *outside* the service lock (they take it
+        through the planner); index mutations happen under it.  Races
+        with concurrent ingest only affect which vectors the shortlist
+        is ranked by — the shortlist is always exactly rescored.
+        """
+        with self._lock:
+            if self._index is None:
+                self._index = CoarseQuantIndex(
+                    nlist=self.config.index_nlist,
+                    nprobe=self.config.index_nprobe)
+            index = self._index
+            rebuild = not index.built or index.needs_rebuild()
+            catalog = self._candidates
+            dirty, self._index_dirty = (self._index_dirty,
+                                        np.empty(0, dtype=np.int64))
+        if rebuild:
+            vectors = self._embed_catalog(catalog, t)
+            with self._lock:
+                index.build(catalog, vectors)
+        else:
+            known = index.ids()
+            stale = np.intersect1d(dirty, known)
+            fresh = np.setdiff1d(catalog, known)
+            if len(stale):
+                vectors = self._embed_catalog(stale, t)
+                with self._lock:
+                    index.replace(stale, vectors)
+            if len(fresh):
+                vectors = self._embed_catalog(fresh, t)
+                with self._lock:
+                    index.add(fresh, vectors)
+        query = self.planner.embed(np.asarray([src], dtype=np.int64),
+                                   np.asarray([t]))[0]
+        size = max(k, self.config.index_shortlist)
+        with self._lock:
+            return index.search(query, size)
 
     # ------------------------------------------------------------------
     # live ingestion
@@ -324,7 +547,8 @@ class EmbeddingService:
 
         Appends to the dynamic adjacency, advances the memory through the
         sparse-delta staging path and invalidates exactly the cache rows
-        whose state changed.  Returns the number of events ingested.
+        whose state changed (exact policy) or advances their staleness
+        clocks (bounded policy).  Returns the number of events ingested.
         """
         # The configured dtype must wrap the flush math so serve-time
         # ingestion stays bit-identical to an offline replay.
@@ -344,7 +568,11 @@ class EmbeddingService:
                 new_dst = np.asarray(dst, dtype=np.int64)
             if count:
                 self._candidates = np.union1d(self._candidates, new_dst)
-                self.planner.invalidate(touched)
+                if self._staleness.exact:
+                    self.planner.invalidate(touched)
+                if self._index is not None:
+                    self._index_dirty = np.union1d(self._index_dirty,
+                                                   touched)
         return count
 
     # ------------------------------------------------------------------
@@ -354,6 +582,13 @@ class EmbeddingService:
         """One JSON-able snapshot for ``/stats`` and the benchmarks."""
         with self._lock:
             cache = self.planner.cache
+            index = self._index
+            snapshot = dict(self._snapshot_meta)
+            if snapshot.get("restored"):
+                snapshot["events_since_restore"] = (
+                    int(self.finder.num_events)
+                    - snapshot["events_at_restore"])
+            policy = self._staleness
             return {
                 "backbone": self.backbone,
                 "num_nodes": int(self.artifact.num_nodes),
@@ -369,7 +604,28 @@ class EmbeddingService:
                     "num_events": int(self.finder.num_events),
                     "delta_events": int(self.finder.delta_events),
                     "compactions": int(self.finder.compactions),
+                    "background_compaction": self._compactor is not None,
+                    "compactor": (None if self._compactor is None
+                                  else self._compactor.stats()),
                 },
+                "staleness": {
+                    "exact": policy.exact,
+                    "max_age_events": (None
+                                       if math.isinf(policy.max_age_events)
+                                       else policy.max_age_events),
+                    "max_age_time": (None
+                                     if math.isinf(policy.max_age_time)
+                                     else policy.max_age_time),
+                },
+                "index": (None if index is None else {
+                    "size": len(index),
+                    "lists": index.num_lists,
+                    "nprobe": index.nprobe,
+                    "dirty": int(len(self._index_dirty)),
+                    **index.stats.as_row(),
+                }),
+                "candidates": int(len(self._candidates)),
+                "snapshot": snapshot,
                 "planner": self.planner.stats.as_row(),
                 "compile": dict(self._compiled_embed.stats),
                 "cache_rows": 0 if cache is None else len(cache),

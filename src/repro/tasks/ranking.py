@@ -24,14 +24,15 @@ def top_k_from_scores(candidates: np.ndarray, scores: np.ndarray,
     Ties break toward the lower candidate id (stable and deterministic —
     the property the serving layer's HTTP round-trip tests rely on).
     Returns ``(top_candidates, top_scores)``; fewer rows when there are
-    fewer candidates than ``k``.
+    fewer candidates than ``k``, and empty (never an error) when ``k``
+    is zero or there are no candidates.
     """
     candidates = np.asarray(candidates)
     scores = np.asarray(scores, dtype=np.float64)
     if candidates.shape != scores.shape or candidates.ndim != 1:
         raise ValueError("candidates and scores must be equal-length 1-D")
-    if k < 1:
-        raise ValueError("k must be positive")
+    if k < 0:
+        raise ValueError("k must be >= 0")
     k = min(k, len(candidates))
     if k == 0:
         return candidates[:0], scores[:0]

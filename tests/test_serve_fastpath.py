@@ -1,0 +1,606 @@
+"""The serving fast path: staleness-bounded cache reuse, the IVF
+shortlist index, background compaction and snapshot/restore.
+
+The load-bearing guarantees:
+
+* a staleness bound of zero **is** the exact path — same code, same
+  bits — and a non-zero bound only ever serves rows whose inputs
+  changed within the bound (measured via the ingest touch clocks);
+* the `CoarseQuantIndex` shortlist is always exactly rescored, so the
+  indexed `top_k` can lose recall but never return a wrong score, and
+  with a shortlist covering the catalog it is bit-identical to the
+  exact scan;
+* generation-swapped background compaction answers every query
+  bit-identically to synchronous compaction (and to a finder rebuilt
+  from scratch);
+* `snapshot()` → `from_snapshot()` restores a replica bit-identical to
+  the one that wrote it — embeddings, scores, pending messages and all
+  — without replaying the ingested history.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (BackgroundCompactor, CoarseQuantIndex,
+                         DynamicNeighborFinder, EmbeddingService,
+                         LocalClient, MicroBatchPlanner, ServeError,
+                         SnapshotError, StalenessPolicy, read_snapshot,
+                         start_http_server)
+from repro.serve.http import HttpClient
+from repro.serve.index import kmeans_fit
+from repro.tasks.ranking import top_k_from_scores
+
+from .test_serve import (NUM_NODES, make_split_stream, pretrain_artifact,
+                         tiny_config)
+
+
+@pytest.fixture(scope="module")
+def artifact_and_streams():
+    full, pre, suffix = make_split_stream(seed=3)
+    artifact = pretrain_artifact(pre, tiny_config("tgn", "sparse"))
+    return artifact, full, pre, suffix
+
+
+def build_service(artifact_and_streams, **knobs) -> EmbeddingService:
+    artifact, _, pre, _ = artifact_and_streams
+    return EmbeddingService.from_artifact(artifact, history=pre, **knobs)
+
+
+def suffix_blocks(suffix, block: int = 30):
+    for lo in range(0, suffix.num_events, block):
+        hi = min(lo + block, suffix.num_events)
+        yield (suffix.src[lo:hi], suffix.dst[lo:hi],
+               suffix.timestamps[lo:hi])
+
+
+# ======================================================================
+# StalenessPolicy + bounded cache reuse
+# ======================================================================
+
+class TestStalenessPolicy:
+    def test_defaults_are_exact(self):
+        assert StalenessPolicy().exact
+        assert StalenessPolicy(0.0, 5.0).exact
+        assert StalenessPolicy(3.0, 0.0).exact
+        assert not StalenessPolicy(3.0).exact
+        assert not StalenessPolicy(1.0, 2.5).exact
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            StalenessPolicy(-1.0)
+        with pytest.raises(ValueError):
+            StalenessPolicy(0.0, -0.5)
+
+    def test_planner_requires_touch_state_for_lazy_policy(self):
+        compute = lambda nodes, ts: np.zeros((len(nodes), 2))
+        with pytest.raises(ValueError, match="touch_state"):
+            MicroBatchPlanner(compute, staleness=StalenessPolicy(2.0))
+        # Exact policies need no clocks — the eager path never reads them.
+        MicroBatchPlanner(compute, staleness=StalenessPolicy(0.0))
+
+    def test_service_rejects_bad_bounds(self, artifact_and_streams):
+        with pytest.raises(ServeError):
+            build_service(artifact_and_streams, staleness_events=-1.0)
+
+
+class TestStalenessBoundedCache:
+    """Bound = 0 is the exact path; bound > 0 trades bits for hits."""
+
+    def interleave(self, service, suffix, probes, t, block=30):
+        """Ingest the suffix in blocks, embedding probes between blocks."""
+        rows = []
+        for src, dst, ts in suffix_blocks(suffix, block):
+            service.ingest(src=src, dst=dst, timestamps=ts)
+            rows.append(service.embed(probes, t).copy())
+        return np.stack(rows)
+
+    def test_bound_zero_bit_identical_to_exact(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        probes = np.arange(0, NUM_NODES, 7)
+        t = float(suffix.timestamps[-1]) + 1.0
+        exact = build_service(artifact_and_streams)
+        bound0 = build_service(artifact_and_streams, staleness_events=0.0,
+                               staleness_time=123.0)
+        assert exact.planner.staleness.exact
+        assert bound0.planner.staleness.exact
+        a = self.interleave(exact, suffix, probes, t)
+        b = self.interleave(bound0, suffix, probes, t)
+        np.testing.assert_array_equal(a, b)
+        assert bound0.planner.stats.stale_hits == 0
+
+    def test_bounded_policy_serves_stale_rows(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        probes = np.unique(np.concatenate([suffix.src[:30],
+                                           suffix.dst[:30]]))
+        t = float(suffix.timestamps[-1]) + 1.0
+        # One shared quantized key per node: the whole query range maps
+        # to a single cache slot, so re-queries after ingest are hits
+        # (stale or invalidated) rather than new keys.
+        stale = build_service(artifact_and_streams, staleness_events=64.0,
+                              time_resolution=1e6)
+        exact = build_service(artifact_and_streams, time_resolution=1e6)
+        before = stale.embed(probes, t).copy()
+        exact.embed(probes, t)
+        src, dst, ts = next(suffix_blocks(suffix, 30))
+        stale.ingest(src=src, dst=dst, timestamps=ts)
+        exact.ingest(src=src, dst=dst, timestamps=ts)
+        after_stale = stale.embed(probes, t)
+        after_exact = exact.embed(probes, t)
+        # The bounded service reused every cached row bit-for-bit...
+        np.testing.assert_array_equal(after_stale, before)
+        assert stale.planner.stats.stale_hits > 0
+        # ...while the exact service recomputed the touched ones.
+        touched = np.intersect1d(probes, np.union1d(src, dst))
+        assert len(touched) > 0
+        assert not np.array_equal(after_exact, before)
+        assert stale.planner.stats.cache_misses < \
+            exact.planner.stats.cache_misses
+
+    def test_exceeding_the_bound_recomputes(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        probes = np.unique(suffix.src[:60])
+        t = float(suffix.timestamps[-1]) + 1.0
+        stale = build_service(artifact_and_streams, staleness_events=2.0,
+                              time_resolution=1e6)
+        exact = build_service(artifact_and_streams, time_resolution=1e6)
+        stale.embed(probes, t)
+        for i, (src, dst, ts) in enumerate(suffix_blocks(suffix, 20)):
+            stale.ingest(src=src, dst=dst, timestamps=ts)
+            exact.ingest(src=src, dst=dst, timestamps=ts)
+            if i >= 4:
+                break
+        # The clock counts blocks that touched each row, so only rows
+        # past the 2-block budget must be recomputed — and those land
+        # exactly on the exact service's answer.
+        over = stale._ingestor.touch_count[probes] > 2
+        assert over.any()
+        np.testing.assert_array_equal(stale.embed(probes, t)[over],
+                                      exact.embed(probes, t)[over])
+        assert stale.planner.stats.stale_evictions > 0
+
+    def test_time_bound_caps_event_bound(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        probes = np.unique(suffix.src[:40])
+        t = float(suffix.timestamps[-1]) + 1.0
+        # Huge event budget but a zero-width time budget after the first
+        # touch: any touched row whose newest event moved time forward
+        # must be recomputed.
+        stale = build_service(artifact_and_streams, staleness_events=1e9,
+                              staleness_time=1e-9, time_resolution=1e6)
+        exact = build_service(artifact_and_streams, time_resolution=1e6)
+        stale.embed(probes, t)
+        exact.embed(probes, t)
+        for src, dst, ts in suffix_blocks(suffix, 40):
+            stale.ingest(src=src, dst=dst, timestamps=ts)
+            exact.ingest(src=src, dst=dst, timestamps=ts)
+        np.testing.assert_array_equal(stale.embed(probes, t),
+                                      exact.embed(probes, t))
+
+
+# ======================================================================
+# CoarseQuantIndex
+# ======================================================================
+
+def clustered_vectors(rng, n, dim=16, clusters=12):
+    centers = rng.normal(scale=4.0, size=(clusters, dim))
+    assign = rng.integers(0, clusters, n)
+    return centers[assign] + rng.normal(scale=0.4, size=(n, dim))
+
+
+class TestCoarseQuantIndex:
+    def test_kmeans_deterministic_and_shapes(self):
+        rng = np.random.default_rng(0)
+        x = clustered_vectors(rng, 200)
+        c1 = kmeans_fit(x, 8, np.random.default_rng(1))
+        c2 = kmeans_fit(x, 8, np.random.default_rng(1))
+        np.testing.assert_array_equal(c1, c2)
+        assert c1.shape == (8, x.shape[1])
+        # k >= n degenerates to the points themselves.
+        assert kmeans_fit(x[:3], 5, np.random.default_rng(0)).shape == \
+            (3, x.shape[1])
+
+    def test_full_probe_matches_exact_scan(self):
+        rng = np.random.default_rng(1)
+        vecs = clustered_vectors(rng, 300)
+        ids = rng.permutation(10_000)[:300].astype(np.int64)
+        index = CoarseQuantIndex(nlist=10, nprobe=10)
+        index.build(ids, vecs)
+        for _ in range(5):
+            q = rng.normal(size=vecs.shape[1])
+            got = index.search(q, 10)
+            want, _ = top_k_from_scores(ids, vecs @ q, 10)
+            assert set(got[:10].tolist()) == set(want.tolist())
+
+    def test_recall_at_10_with_partial_probe(self):
+        rng = np.random.default_rng(2)
+        vecs = clustered_vectors(rng, 2000)
+        ids = np.arange(2000, dtype=np.int64)
+        index = CoarseQuantIndex(nprobe=8)   # nlist auto ~ sqrt(2000)=45
+        index.build(ids, vecs)
+        hits = total = 0
+        for _ in range(50):
+            q = vecs[rng.integers(0, len(vecs))] + \
+                rng.normal(scale=0.2, size=vecs.shape[1])
+            got = set(index.search(q, 10).tolist())
+            want, _ = top_k_from_scores(ids, vecs @ q, 10)
+            hits += len(got & set(want.tolist()))
+            total += len(want)
+        assert hits / total >= 0.95
+        assert index.stats.scanned < index.stats.queries * len(vecs)
+
+    def test_pending_tail_always_found(self):
+        rng = np.random.default_rng(3)
+        vecs = clustered_vectors(rng, 200)
+        index = CoarseQuantIndex(nprobe=1)
+        index.build(np.arange(200), vecs)
+        q = rng.normal(size=vecs.shape[1])
+        q /= np.linalg.norm(q)
+        # A pending candidate aligned with the query dominates every
+        # listed vector and must appear first despite nprobe=1.
+        index.add(np.asarray([777]), (q * 1e3)[None, :])
+        assert index.search(q, 5)[0] == 777
+        assert len(index) == 201
+
+    def test_replace_and_remove(self):
+        rng = np.random.default_rng(4)
+        vecs = clustered_vectors(rng, 100)
+        index = CoarseQuantIndex(nprobe=10)
+        index.build(np.arange(100), vecs)
+        q = rng.normal(size=vecs.shape[1])
+        index.replace(np.asarray([7]), (q * 1e3)[None, :])
+        assert index.search(q, 3)[0] == 7
+        index.remove(np.asarray([7]))
+        assert 7 not in index.search(q, 100).tolist()
+        assert len(index) == 99
+
+    def test_rebuild_trigger(self):
+        rng = np.random.default_rng(5)
+        vecs = clustered_vectors(rng, 64)
+        index = CoarseQuantIndex(rebuild_fraction=0.25)
+        index.build(np.arange(64), vecs)
+        assert not index.needs_rebuild()
+        index.add(np.arange(100, 120), clustered_vectors(rng, 20))
+        assert index.needs_rebuild()
+
+    def test_empty_and_unbuilt(self):
+        index = CoarseQuantIndex()
+        assert len(index.search(np.zeros(4), 5)) == 0
+        index.build(np.empty(0, dtype=np.int64), np.zeros((0, 4)))
+        assert len(index) == 0
+        assert len(index.search(np.zeros(4), 5)) == 0
+
+
+# ======================================================================
+# Indexed top_k through the service
+# ======================================================================
+
+class TestIndexedTopK:
+    def test_covering_shortlist_is_bit_identical(self, artifact_and_streams):
+        _, _, pre, suffix = artifact_and_streams
+        t = float(suffix.timestamps[0])
+        indexed = build_service(artifact_and_streams, index=True,
+                                index_shortlist=NUM_NODES,
+                                index_nprobe=64)
+        exact = build_service(artifact_and_streams)
+        for src in [0, 3, 11]:
+            ids_a, scores_a = indexed.top_k(src, t, 5)
+            ids_b, scores_b = exact.top_k(src, t, 5)
+            np.testing.assert_array_equal(ids_a, ids_b)
+            np.testing.assert_array_equal(scores_a, scores_b)
+        stats = indexed.stats()
+        assert stats["index"] is not None
+        assert stats["index"]["queries"] == 3
+        assert exact.stats()["index"] is None
+
+    def test_exact_override_bypasses_index(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        t = float(suffix.timestamps[0])
+        service = build_service(artifact_and_streams, index=True)
+        service.top_k(0, t, 5, exact=True)
+        assert service.stats()["index"] is None
+        service.top_k(0, t, 5)
+        assert service.stats()["index"]["queries"] == 1
+        # Explicit candidate sets are always scanned exactly.
+        service.top_k(0, t, 3, candidates=np.asarray([40, 41, 42]))
+        assert service.stats()["index"]["queries"] == 1
+
+    def test_ingested_candidates_reach_the_index(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        service = build_service(artifact_and_streams, index=True,
+                                index_shortlist=NUM_NODES,
+                                index_nprobe=64)
+        t0 = float(suffix.timestamps[0])
+        service.top_k(0, t0, 5)   # builds over the pre-train catalog
+        built = len(service._index)
+        src, dst, ts = next(suffix_blocks(suffix, 40))
+        service.ingest(src=src, dst=dst, timestamps=ts)
+        t1 = float(ts[-1]) + 1.0
+        ids, scores = service.top_k(int(src[0]), t1, NUM_NODES)
+        exact = build_service(artifact_and_streams)
+        exact.ingest(src=src, dst=dst, timestamps=ts)
+        ids_e, scores_e = exact.top_k(int(src[0]), t1, NUM_NODES)
+        np.testing.assert_array_equal(ids, ids_e)
+        np.testing.assert_array_equal(scores, scores_e)
+        assert len(service._index) >= built
+
+    def test_top_k_edge_cases(self, artifact_and_streams):
+        _, _, _, suffix = artifact_and_streams
+        t = float(suffix.timestamps[0])
+        for knobs in ({}, {"index": True}):
+            service = build_service(artifact_and_streams, **knobs)
+            ids, scores = service.top_k(0, t, 0)
+            assert len(ids) == 0 and len(scores) == 0
+            ids, scores = service.top_k(0, t, 5, candidates=np.empty(0))
+            assert len(ids) == 0 and len(scores) == 0
+            ids, _ = service.top_k(0, t, 10, candidates=np.asarray([40, 41]))
+            assert len(ids) == 2
+            ids, _ = service.top_k(0, t, 10 * NUM_NODES)
+            assert len(ids) == len(np.unique(service._candidates))
+            with pytest.raises(ServeError):
+                service.top_k(0, t, -1)
+
+    def test_top_k_from_scores_k_zero(self):
+        ids, scores = top_k_from_scores(np.asarray([3, 1]),
+                                        np.asarray([0.5, 0.2]), 0)
+        assert len(ids) == 0 and len(scores) == 0
+        with pytest.raises(ValueError):
+            top_k_from_scores(np.asarray([3]), np.asarray([0.5]), -1)
+
+
+# ======================================================================
+# Background compaction
+# ======================================================================
+
+class TestBackgroundCompaction:
+    def test_job_commit_equivalence(self):
+        full, pre, suffix = make_split_stream(seed=9)
+        finder = DynamicNeighborFinder(pre, compaction_threshold=10**9)
+        finder.append(suffix.src, suffix.dst, suffix.timestamps)
+        job = finder.compaction_job()
+        finder.build_compaction(job)
+        assert finder.commit_compaction(job)
+        assert finder.delta_events == 0
+        scratch = DynamicNeighborFinder(full)
+        nodes = np.arange(NUM_NODES)
+        t = np.full(NUM_NODES, full.timestamps[-1] + 1.0)
+        for name in ("batch_degree",):
+            np.testing.assert_array_equal(getattr(finder, name)(nodes, t),
+                                          getattr(scratch, name)(nodes, t))
+        nbrs_a, ts_a, _, mask_a = finder.batch_most_recent(nodes, t, 5)
+        nbrs_b, ts_b, _, mask_b = scratch.batch_most_recent(nodes, t, 5)
+        np.testing.assert_array_equal(nbrs_a, nbrs_b)
+        np.testing.assert_array_equal(ts_a, ts_b)
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_superseded_job_is_discarded(self):
+        _, pre, suffix = make_split_stream(seed=9)
+        finder = DynamicNeighborFinder(pre, compaction_threshold=10**9)
+        half = suffix.num_events // 2
+        finder.append(suffix.src[:half], suffix.dst[:half],
+                      suffix.timestamps[:half])
+        job = finder.compaction_job()
+        finder.build_compaction(job)
+        finder.compact()                     # a competing sync compaction
+        assert not finder.commit_compaction(job)
+        # The stale commit must not have clobbered the newer base.
+        assert finder.num_events == pre.num_events + half
+
+    def test_background_equals_synchronous(self, artifact_and_streams):
+        _, full, _, suffix = artifact_and_streams
+        probes = np.arange(0, NUM_NODES, 5)
+        t = float(suffix.timestamps[-1]) + 1.0
+        background = build_service(artifact_and_streams,
+                                   compaction_threshold=25)
+        sync = build_service(artifact_and_streams, compaction_threshold=25,
+                             background_compaction=False)
+        try:
+            for src, dst, ts in suffix_blocks(suffix, 20):
+                background.ingest(src=src, dst=dst, timestamps=ts)
+                sync.ingest(src=src, dst=dst, timestamps=ts)
+            assert background._compactor.drain()
+            np.testing.assert_array_equal(background.embed(probes, t),
+                                          sync.embed(probes, t))
+            assert sync._compactor is None
+            assert sync.finder.compactions > 0
+            stats = background.stats()["graph"]
+            assert stats["background_compaction"]
+            assert stats["compactor"]["generations"] >= 1
+            assert background.finder.num_events == full.num_events
+        finally:
+            background.close()
+
+    def test_queries_during_background_build(self, artifact_and_streams):
+        """Hammer embed() while compaction cycles run; then verify bits."""
+        _, _, _, suffix = artifact_and_streams
+        probes = np.arange(0, NUM_NODES, 3)
+        t = float(suffix.timestamps[-1]) + 1.0
+        service = build_service(artifact_and_streams,
+                                compaction_threshold=15)
+        reference = build_service(artifact_and_streams,
+                                  background_compaction=False,
+                                  compaction_threshold=10**9)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    service.embed(probes, t)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for src, dst, ts in suffix_blocks(suffix, 10):
+                service.ingest(src=src, dst=dst, timestamps=ts)
+                reference.ingest(src=src, dst=dst, timestamps=ts)
+            thread.join()
+            assert not errors
+            assert service._compactor.drain()
+            np.testing.assert_array_equal(service.embed(probes, t),
+                                          reference.embed(probes, t))
+        finally:
+            service.close()
+
+
+# ======================================================================
+# Snapshot / restore
+# ======================================================================
+
+class TestSnapshot:
+    def ingest_half(self, service, suffix, block=25):
+        half = suffix.num_events // 2
+        for src, dst, ts in suffix_blocks(suffix.slice_index(0, half),
+                                          block):
+            service.ingest(src=src, dst=dst, timestamps=ts)
+        return half
+
+    def test_round_trip_bit_identity(self, artifact_and_streams, tmp_path):
+        artifact, _, _, suffix = artifact_and_streams
+        path = str(tmp_path / "replica.npz")
+        probes = np.arange(0, NUM_NODES, 4)
+        t = float(suffix.timestamps[-1]) + 1.0
+        # Threshold high enough that part of the suffix stays in the
+        # delta buffer, and the last ingest leaves staged messages — the
+        # two state pieces a naive snapshot would lose.
+        service = build_service(artifact_and_streams,
+                                compaction_threshold=70,
+                                background_compaction=False)
+        half = self.ingest_half(service, suffix)
+        meta = service.snapshot(path)
+        assert meta["num_events"] == service.finder.num_events
+        assert service.finder.delta_events > 0
+        restored = EmbeddingService.from_snapshot(artifact, path)
+        np.testing.assert_array_equal(service.embed(probes, t),
+                                      restored.embed(probes, t))
+        src = suffix.src[:8]
+        dst = suffix.dst[:8]
+        np.testing.assert_array_equal(service.score_links(src, dst, t),
+                                      restored.score_links(src, dst, t))
+        ids_a, scores_a = service.top_k(0, t, 10)
+        ids_b, scores_b = restored.top_k(0, t, 10)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(scores_a, scores_b)
+        stats = restored.stats()["snapshot"]
+        assert stats["restored"] and stats["events_since_restore"] == 0
+
+    def test_continued_ingest_equivalence(self, artifact_and_streams,
+                                          tmp_path):
+        artifact, _, _, suffix = artifact_and_streams
+        path = str(tmp_path / "replica.npz")
+        probes = np.arange(0, NUM_NODES, 4)
+        t = float(suffix.timestamps[-1]) + 1.0
+        service = build_service(artifact_and_streams,
+                                compaction_threshold=70,
+                                background_compaction=False)
+        half = self.ingest_half(service, suffix)
+        service.snapshot(path)
+        restored = EmbeddingService.from_snapshot(
+            artifact, path, background_compaction=False,
+            compaction_threshold=70)
+        rest = suffix.slice_index(half, suffix.num_events)
+        for src, dst, ts in suffix_blocks(rest, 25):
+            service.ingest(src=src, dst=dst, timestamps=ts)
+            restored.ingest(src=src, dst=dst, timestamps=ts)
+        np.testing.assert_array_equal(service.embed(probes, t),
+                                      restored.embed(probes, t))
+        assert restored.finder.num_events == service.finder.num_events
+
+    def test_edge_featured_round_trip(self, tmp_path):
+        full, pre, suffix = make_split_stream(seed=5, edge_dim=3)
+        artifact = pretrain_artifact(pre, tiny_config("tgn", "sparse",
+                                                      edge_dim=3))
+        service = EmbeddingService.from_artifact(
+            artifact, history=pre, background_compaction=False)
+        half = suffix.num_events // 2
+        first = suffix.slice_index(0, half)
+        service.ingest(first)
+        path = str(tmp_path / "edge.npz")
+        service.snapshot(path)
+        restored = EmbeddingService.from_snapshot(artifact, path)
+        probes = np.arange(0, NUM_NODES, 6)
+        t = float(suffix.timestamps[-1]) + 1.0
+        np.testing.assert_array_equal(service.embed(probes, t),
+                                      restored.embed(probes, t))
+        # Both replicas keep accepting featured events.
+        rest = suffix.slice_index(half, suffix.num_events)
+        service.ingest(rest)
+        restored.ingest(rest)
+        np.testing.assert_array_equal(service.embed(probes, t),
+                                      restored.embed(probes, t))
+
+    def test_wrong_artifact_rejected(self, artifact_and_streams, tmp_path):
+        artifact, _, _, suffix = artifact_and_streams
+        path = str(tmp_path / "replica.npz")
+        service = build_service(artifact_and_streams,
+                                background_compaction=False)
+        service.snapshot(path)
+        other_full, other_pre, _ = make_split_stream(seed=11)
+        other = pretrain_artifact(other_pre, tiny_config("tgn", "sparse"))
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            EmbeddingService.from_snapshot(other, path)
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(SnapshotError, match="meta_json"):
+            read_snapshot(path)
+        with pytest.raises(SnapshotError):
+            read_snapshot(str(tmp_path / "missing.npz"))
+
+    def test_meta_is_json_clean(self, artifact_and_streams, tmp_path):
+        path = str(tmp_path / "replica.npz")
+        service = build_service(artifact_and_streams,
+                                background_compaction=False)
+        meta = service.snapshot(path)
+        meta2, data = read_snapshot(path)
+        data.close()
+        assert json.loads(json.dumps(meta)) == meta2
+
+
+# ======================================================================
+# HTTP surface of the fast path
+# ======================================================================
+
+class TestHttpFastPath:
+    @pytest.fixture()
+    def service(self, artifact_and_streams):
+        svc = build_service(artifact_and_streams, index=True,
+                            index_shortlist=NUM_NODES, index_nprobe=64)
+        yield svc
+        svc.close()
+
+    def test_stats_reports_fast_path_state(self, service):
+        stats = LocalClient(service).stats()
+        assert stats["staleness"] == {"exact": True, "max_age_events": 0.0,
+                                      "max_age_time": None}
+        assert stats["graph"]["background_compaction"]
+        assert stats["graph"]["compactor"]["idle"] in (True, False)
+        assert stats["candidates"] > 0
+        assert json.loads(json.dumps(stats))["snapshot"]["restored"] is False
+
+    def test_snapshot_endpoint_and_topk_exact(self, service, tmp_path,
+                                              artifact_and_streams):
+        artifact, _, _, suffix = artifact_and_streams
+        t = float(suffix.timestamps[0])
+        server, thread = start_http_server(service, port=0)
+        try:
+            port = server.server_address[1]
+            client = HttpClient(f"http://127.0.0.1:{port}")
+            indexed = client.topk(0, t, 5)
+            exact = client.topk(0, t, 5, exact=True)
+            assert indexed == exact     # covering shortlist: identical
+            path = str(tmp_path / "http.npz")
+            reply = client.snapshot(path)
+            assert reply["path"] == path
+            restored = EmbeddingService.from_snapshot(artifact, path)
+            probe = restored.embed([0], t)
+            np.testing.assert_array_equal(probe, service.embed([0], t))
+        finally:
+            server.shutdown()
+            thread.join()
