@@ -170,6 +170,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         argv.append("--no-verify-fingerprint")
     if args.no_compile:
         argv.append("--no-compile")
+    argv += ["--backend", args.backend]
+    if args.profile_kernels:
+        argv.append("--profile-kernels")
     argv += ["--staleness-events", str(args.staleness_events)]
     if args.staleness_time is not None:
         argv += ["--staleness-time", str(args.staleness_time)]
@@ -330,6 +333,11 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--no-compile", action="store_true",
                      help="serve with pure eager inference (no replay "
                           "compilation)")
+    srv.add_argument("--backend", choices=("numpy", "numba"),
+                     default="numpy",
+                     help="kernel backend for the compiled encoder pass")
+    srv.add_argument("--profile-kernels", action="store_true",
+                     help="expose per-kernel replay times under /stats")
     srv.add_argument("--staleness-events", type=float, default=0.0,
                      help="serve cached embeddings aged by at most this "
                           "many ingested blocks (0 = exact)")

@@ -36,6 +36,7 @@ _TASK_ALIASES = {"link": "link_prediction", "node": "node_classification"}
 # Override aliases fanning one ``--set`` key out to several leaf fields.
 _OVERRIDE_ALIASES = {
     "nn.compile": ("pretrain.compile_step", "finetune.compile_step"),
+    "nn.backend": ("pretrain.backend", "finetune.backend"),
 }
 
 

@@ -64,6 +64,14 @@ class CPDGConfig:
     # this flag) restores pure eager autograd.
     compile_step: bool = True
 
+    # Kernel backend for the compiled tape (repro.nn.backends): "numpy"
+    # runs the primitives' own kernels (bit-identical to eager); "numba"
+    # binds the jitted kernel table and compiles fused backward chains
+    # to single kernels when the optional numba package is installed,
+    # falling back to numpy transparently (one warning) when it is not.
+    # ``--set nn.backend=numba`` sets both stages at once.
+    backend: str = "numpy"
+
     # Memory engine: "sparse" flushes O(touched rows) per batch; "dense"
     # is the full-matrix reference path kept for equivalence tests and
     # benchmarks.  ``dtype`` is the training/storage precision (float32
@@ -117,6 +125,9 @@ class CPDGConfig:
             raise ValueError("sampler_cache_capacity must be positive or None")
         if self.memory_engine not in ("sparse", "dense"):
             raise ValueError(f"unknown memory engine {self.memory_engine!r}")
+        if self.backend not in ("numpy", "numba"):
+            raise ValueError(f"unknown kernel backend {self.backend!r}; "
+                             "expected 'numpy' or 'numba'")
         if self.dtype not in ("float32", "float64"):
             raise ValueError(f"unknown dtype {self.dtype!r}; "
                              "expected 'float32' or 'float64'")

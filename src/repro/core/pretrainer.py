@@ -37,6 +37,7 @@ from ..dgnn.encoder import DGNNEncoder, make_encoder
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..nn.autograd import Tensor, default_dtype
+from ..nn import backends as _backends
 from ..nn.compile import CompiledStep
 from ..nn.optim import Adam, clip_grad_norm
 from .checkpoints import CheckpointSchedule, MemoryCheckpoints
@@ -226,7 +227,8 @@ class CPDGPreTrainer:
             loss.backward()
             return loss_eta.item(), loss_eps.item(), loss_tlp.item()
 
-        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step,
+                                backend=cfg.backend)
 
         def step_key(prepared, staged):
             # Every shape/branch degree of freedom of train_step: batch
@@ -244,7 +246,10 @@ class CPDGPreTrainer:
         step = 0
         current_epoch = -1
         try:
-            with producer:
+            # Route eager-path row scatters (readout forwards, sparse
+            # embedding backward) through the configured backend too —
+            # replay only accelerates what happens inside traced steps.
+            with _backends.use_backend(cfg.backend), producer:
                 for prepared in producer:
                     if prepared.epoch != current_epoch:
                         if verbose and current_epoch >= 0:

@@ -6,7 +6,7 @@ layers needed by DGNN encoders (linear/MLP/embedding/recurrent cells/
 attention/time encoding), optimizers and the losses the paper uses.
 """
 
-from . import functional
+from . import backends, functional
 from .attention import AdditiveAttention, TemporalAttention
 from .autograd import (Node, Primitive, SparseRowGrad, Tensor, apply_op,
                        as_tensor, default_dtype, defchain, defvjp,
@@ -28,6 +28,7 @@ from .serialization import load_arrays, load_module, save_arrays, save_module
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "functional",
+    "backends",
     "SparseRowGrad", "default_dtype", "get_default_dtype", "set_default_dtype",
     "Primitive", "Node", "primitive", "defvjp", "defchain", "apply_op",
     "graph_nodes_created", "CompiledStep", "ReplayMismatch",

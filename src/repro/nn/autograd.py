@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backends as _backends
+
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled",
            "SparseRowGrad", "default_dtype", "get_default_dtype",
            "set_default_dtype", "Primitive", "Node", "primitive", "defvjp",
@@ -138,13 +140,13 @@ class SparseRowGrad:
         rows = self.values.reshape(flat_idx.shape[0], -1)
         uniq, inverse = np.unique(flat_idx, return_inverse=True)
         summed = np.zeros((len(uniq), rows.shape[1]), dtype=rows.dtype)
-        np.add.at(summed, inverse, rows)
+        _backends.scatter_add_rows(summed, inverse, rows)
         return SparseRowGrad(self.shape,
                              uniq, summed.reshape((len(uniq),) + self.shape[1:]))
 
     def to_dense(self) -> np.ndarray:
         full = np.zeros(self.shape, dtype=self.values.dtype)
-        np.add.at(full, self.indices, self.values)
+        _backends.scatter_add_rows(full, self.indices, self.values)
         return full
 
 
@@ -447,7 +449,8 @@ class Tensor:
             elif isinstance(current, SparseRowGrad):
                 self._grad = _concat_sparse(current, grad)
             else:
-                np.add.at(current, grad.indices, grad.values)
+                _backends.scatter_add_rows(current, grad.indices,
+                                           grad.values)
         else:
             if current is None:
                 self._grad = np.array(grad, dtype=self.data.dtype, copy=True)

@@ -1,0 +1,239 @@
+"""Fused-chain kernel source generation.
+
+``_Trace.build`` fuses runs of consecutive single-consumer elementwise
+VJPs into a ``_FusedChain``; the numpy path executes them as a sequence
+of in-place ``Primitive.ew`` kernels — still one ufunc dispatch plus one
+full pass over the gradient buffer *per op*.  This module lowers a whole
+chain to ONE generated kernel: a single loop that carries the running
+gradient scalar ``g`` through every op and touches each buffer element
+exactly once.
+
+The generated source is backend-neutral plain Python — :mod:`.pyloop`
+executes it as-is (slow, for verification), :mod:`.numba_backend` wraps
+it in ``numba.njit``.  Generation is split into a *build-time* plan and
+a *run-time* extraction so compiled kernels are shared:
+
+- :func:`plan_chain` maps the build-time chain description (primitive
+  names, input shapes, which input the gradient flows to) to a list of
+  :class:`MemberPlan` op variants, or ``None`` if any member is not
+  chain-compilable (unknown op, or a general broadcast operand).
+- :func:`chain_signature` keys the compilation cache: two chains with
+  the same op-variant sequence and dtype share one compiled kernel —
+  runtime values (saved ctx arrays, scalar params like a ``pow``
+  exponent) are passed as arguments, never baked into the source.
+- :class:`ChainKernel` binds a compiled function to the per-member
+  extractors and adapts the replay-time ``(ctx, params)`` pairs to the
+  kernel's flat argument list.
+
+All scalars are passed pre-cast to the chain dtype (``dtype.type``) so a
+float32 chain never promotes through float64 intermediates; ctx arrays
+are normalized with ``np.ascontiguousarray(arr, dtype)`` (a no-op when
+already conforming, a cast for e.g. relu/clip bool masks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MemberPlan", "ChainKernel", "plan_chain", "chain_signature",
+    "render_source", "CHAIN_KERNEL_NAME",
+]
+
+CHAIN_KERNEL_NAME = "_chain_kernel"
+
+
+class MemberPlan:
+    """One chain member lowered to an op variant.
+
+    ``lines`` are statement templates over the running gradient ``g``
+    with ``{a}`` / ``{s0}``, ``{s1}`` placeholders for this member's
+    array and scalar arguments; ``extract(ctx, params)`` produces the
+    matching runtime ``(arrays, scalars)`` tuple.
+    """
+
+    __slots__ = ("variant", "lines", "n_arrays", "n_scalars", "extract")
+
+    def __init__(self, variant, lines, n_arrays, n_scalars, extract):
+        self.variant = variant
+        self.lines = lines
+        self.n_arrays = n_arrays
+        self.n_scalars = n_scalars
+        self.extract = extract
+
+
+def _ctx_array(variant, line):
+    """An op whose VJP scales ``g`` by a single saved ctx array."""
+    def build(in_shapes, pos, out_shape):
+        return MemberPlan(variant, [line], 1, 0,
+                          lambda ctx, params: ((ctx[0],), ()))
+    return build
+
+
+def _build_add(in_shapes, pos, out_shape):
+    return MemberPlan("add", [], 0, 0, lambda ctx, params: ((), ()))
+
+
+def _build_neg(in_shapes, pos, out_shape):
+    return MemberPlan("neg", ["g = -g"], 0, 0, lambda ctx, params: ((), ()))
+
+
+def _build_mul(in_shapes, pos, out_shape):
+    other = 1 - pos
+    other_shape = tuple(in_shapes[other])
+    if int(np.prod(other_shape, dtype=np.int64)) == 1:
+        # Size-1 operand: pass it as a scalar argument instead of an
+        # array so x * 2.0 chains share a kernel across constants.
+        return MemberPlan(
+            "mul_s", ["g = g * {s0}"], 0, 1,
+            lambda ctx, params: ((), (ctx[other].reshape(-1)[0],)))
+    if other_shape == tuple(out_shape):
+        return MemberPlan(
+            "mul_a", ["g = g * {a}[i]"], 1, 0,
+            lambda ctx, params: ((ctx[other],), ()))
+    return None  # general broadcast: leave to the numpy ew path
+
+
+def _build_pow(in_shapes, pos, out_shape):
+    return MemberPlan(
+        "pow", ["g = g * {s0} * {a}[i] ** {s1}"], 1, 2,
+        lambda ctx, params: ((ctx[0],),
+                             (params["exponent"], params["exponent"] - 1.0)))
+
+
+def _build_sqrt(in_shapes, pos, out_shape):
+    # ctx holds sqrt's output; VJP is 0.5 / max(output, eps).
+    return MemberPlan(
+        "sqrt", ["g = g * {s1} / max({a}[i], {s0})"], 1, 2,
+        lambda ctx, params: ((ctx[0],), (params["eps"], 0.5)))
+
+
+def _build_tanh(in_shapes, pos, out_shape):
+    return MemberPlan(
+        "tanh", ["d = {a}[i]", "g = g * ({s0} - d * d)"], 1, 1,
+        lambda ctx, params: ((ctx[0],), (1.0,)))
+
+
+def _build_sigmoid(in_shapes, pos, out_shape):
+    return MemberPlan(
+        "sigmoid", ["d = {a}[i]", "g = g * d * ({s0} - d)"], 1, 1,
+        lambda ctx, params: ((ctx[0],), (1.0,)))
+
+
+# Primitive name → MemberPlan builder.  Keep in sync with the `ew`
+# kernels registered in repro.nn.autograd / repro.nn.functional — a
+# missing entry is safe (the chain stays on the numpy ew path), a wrong
+# formula is not (tests/test_backends.py checks each against eager).
+CHAIN_BUILDERS = {
+    "add": _build_add,
+    "neg": _build_neg,
+    "mul": _build_mul,
+    "pow": _build_pow,
+    "sqrt": _build_sqrt,
+    "tanh": _build_tanh,
+    "sigmoid": _build_sigmoid,
+    "exp": _ctx_array("exp", "g = g * {a}[i]"),          # ctx = (output,)
+    "log": _ctx_array("log", "g = g / {a}[i]"),          # ctx = (safe input,)
+    "abs": _ctx_array("abs", "g = g * {a}[i]"),          # ctx = (sign,)
+    "relu": _ctx_array("relu", "g = g * {a}[i]"),        # ctx = (mask,)
+    "leaky_relu": _ctx_array("leaky_relu", "g = g * {a}[i]"),
+    "cos": _ctx_array("cos", "g = -g * {a}[i]"),         # ctx = (sin,)
+    "dropout": _ctx_array("dropout", "g = g * {a}[i]"),  # ctx = (mask,)
+    "clip": _ctx_array("clip", "g = g * {a}[i]"),        # ctx = (mask,)
+}
+
+
+def plan_chain(members):
+    """Lower a chain description to MemberPlans, or None if not lowerable.
+
+    ``members``: sequence of ``(prim_name, in_shapes, grad_pos,
+    out_shape)`` — the build-time view of each fused backward step.
+    """
+    plans = []
+    for name, in_shapes, pos, out_shape in members:
+        builder = CHAIN_BUILDERS.get(name)
+        if builder is None:
+            return None
+        plan = builder(in_shapes, pos, out_shape)
+        if plan is None:
+            return None
+        plans.append(plan)
+    return plans
+
+
+def chain_signature(plans, dtype):
+    """Hashable compilation-cache key: op variants + dtype."""
+    return (tuple(p.variant for p in plans), np.dtype(dtype).str)
+
+
+def render_source(plans, fn_name=CHAIN_KERNEL_NAME):
+    """Generate the single-loop kernel source for a planned chain.
+
+    Signature: ``fn(src, dst, <member args...>)`` over flat 1-D arrays
+    of equal length; member args appear in chain order, arrays before
+    scalars within each member.  ``dst`` may alias ``src`` — each
+    element is read once and written once.
+    """
+    arg_names = ["src", "dst"]
+    body = ["    for i in range(src.shape[0]):",
+            "        g = src[i]"]
+    for index, plan in enumerate(plans):
+        subs = {}
+        if plan.n_arrays:
+            name = f"a{index}"
+            arg_names.append(name)
+            subs["a"] = name
+        for j in range(plan.n_scalars):
+            name = f"s{index}_{j}"
+            arg_names.append(name)
+            subs[f"s{j}"] = name
+        for line in plan.lines:
+            body.append("        " + line.format(**subs))
+    body.append("        dst[i] = g")
+    header = f"def {fn_name}({', '.join(arg_names)}):"
+    return "\n".join([header] + body) + "\n"
+
+
+class ChainKernel:
+    """A compiled chain bound to its runtime argument extractors."""
+
+    __slots__ = ("fn", "plans", "dtype", "signature")
+
+    def __init__(self, fn, plans, dtype, signature):
+        self.fn = fn
+        self.plans = plans
+        self.dtype = np.dtype(dtype)
+        self.signature = signature
+
+    def run(self, grad, dst, runtime_members) -> bool:
+        """Execute the chain: ``dst[:] = chain(grad)`` in one pass.
+
+        ``runtime_members`` pairs each plan with its replay-time
+        ``(ctx, params)``.  Returns False (leaving ``dst`` untouched)
+        when a ctx array's size does not match the gradient buffer —
+        the caller then falls back to the per-op numpy ew path.
+        """
+        size = grad.size
+        dtype = self.dtype
+        args = [grad.reshape(-1), dst.reshape(-1)]
+        for plan, (ctx, params) in zip(self.plans, runtime_members):
+            arrays, scalars = plan.extract(ctx, params)
+            for arr in arrays:
+                flat = np.ascontiguousarray(arr, dtype=dtype).reshape(-1)
+                if flat.size != size:
+                    return False
+                args.append(flat)
+            for value in scalars:
+                args.append(dtype.type(value))
+        self.fn(*args)
+        return True
+
+    def warmup_args(self):
+        """Minimal 1-element argument list for off-hot-path compilation."""
+        dtype = self.dtype
+        args = [np.zeros(1, dtype=dtype), np.empty(1, dtype=dtype)]
+        for plan in self.plans:
+            args.extend(np.ones(1, dtype=dtype)
+                        for _ in range(plan.n_arrays))
+            args.extend(dtype.type(1.0) for _ in range(plan.n_scalars))
+        return args

@@ -1,0 +1,39 @@
+"""Pure-Python executor for generated chain kernels.
+
+Runs the exact source :func:`~repro.nn.backends.chaingen.render_source`
+emits — no jit, just ``exec`` — so the whole-chain code generator is
+testable (and its numerics checkable against eager autograd) in
+environments without numba.  Orders of magnitude slower than the numpy
+ew path; never select it for real work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import KernelBackend
+from .chaingen import (CHAIN_KERNEL_NAME, ChainKernel, chain_signature,
+                       plan_chain, render_source)
+
+
+class PyLoopBackend(KernelBackend):
+    """Debug backend: generated chain source executed as plain Python."""
+
+    name = "pyloop"
+
+    def __init__(self):
+        self._chain_cache = {}
+
+    def compile_chain(self, members, dtype):
+        plans = plan_chain(members)
+        if plans is None:
+            return None
+        key = chain_signature(plans, dtype)
+        fn = self._chain_cache.get(key)
+        if fn is None:
+            source = render_source(plans)
+            namespace = {}
+            exec(compile(source, f"<chain {key[0]}>", "exec"), namespace)
+            fn = namespace[CHAIN_KERNEL_NAME]
+            self._chain_cache[key] = fn
+        return ChainKernel(fn, plans, np.dtype(dtype), key)

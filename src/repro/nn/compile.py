@@ -40,12 +40,24 @@ Pooled output buffers are valid until the *next* call of the same
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from . import backends as _backends
 from .autograd import (SparseRowGrad, Tensor, _concat_sparse, _eager_apply,
                        get_tracer, set_tracer)
 
 __all__ = ["CompiledStep", "ReplayMismatch"]
+
+
+def _bump(profile: dict, label: str, seconds: float) -> None:
+    entry = profile.get(label)
+    if entry is None:
+        profile[label] = [1, seconds]
+    else:
+        entry[0] += 1
+        entry[1] += seconds
 
 
 class ReplayMismatch(Exception):
@@ -103,7 +115,7 @@ class _GradCell:
             elif self.sparse:
                 self.value = _concat_sparse(self.value, g)
             else:
-                np.add.at(self.value, g.indices, g.values)
+                _backends.scatter_add_rows(self.value, g.indices, g.values)
         else:
             if self.value is None:
                 if borrowed or g.dtype != self.dtype:
@@ -126,20 +138,28 @@ class _GradCell:
 
 
 class _FwdRec:
-    """One forward op of a compiled program."""
+    """One forward op of a compiled program.
 
-    __slots__ = ("prim", "in_slots", "in_requires", "need_ctx", "out_slot",
-                 "out_dtype", "out_tensor", "out_buf", "ctx", "params")
+    ``fwd_k``/``vjp_k`` are the kernels actually run during replay —
+    the kernel backend's replacement when it offers one for the
+    primitive, the primitive's own numpy kernel otherwise (bound once
+    at build time so the replay hot path never does a lookup).
+    """
+
+    __slots__ = ("prim", "in_slots", "in_requires", "in_shapes", "need_ctx",
+                 "out_slot", "out_dtype", "out_shape", "out_tensor",
+                 "out_buf", "ctx", "params", "fwd_k", "vjp_k")
 
 
 class _BwdStep:
     """One un-fused backward item: VJP + per-target accumulation."""
 
-    __slots__ = ("rec", "targets")
+    __slots__ = ("rec", "targets", "label")
 
     def __init__(self, rec: _FwdRec, targets: tuple):
         self.rec = rec
         self.targets = targets   # ((input_pos, slot, is_leaf), ...)
+        self.label = "bwd:" + rec.prim.name
 
     def run(self, rp: "_Replay") -> None:
         rec = self.rec
@@ -147,7 +167,7 @@ class _BwdStep:
         g = cells[rec.out_slot].read()
         if g is None:
             raise ReplayMismatch("missing gradient during replay")
-        grads = rec.prim.vjp(rec.ctx, g, rec.in_requires, rec.params)
+        grads = rec.vjp_k(rec.ctx, g, rec.in_requires, rec.params)
         for pos, slot, leaf in self.targets:
             gi = grads[pos]
             if gi is None:
@@ -167,15 +187,28 @@ class _FusedChain:
     kernel transforms it in place (same ufunc sequence as the individual
     VJPs, so the result is bit-identical), and only the final target is
     accumulated — the intermediate gradient tensors never materialize.
+
+    When the kernel backend can lower the chain (see
+    :mod:`repro.nn.backends.chaingen`), the whole thing instead runs as
+    ONE compiled kernel — a single loop carrying the gradient scalar
+    through every op, no per-op dispatch or scratch traffic.  The numpy
+    ew sequence stays as the fallback for layouts the kernel declines.
     """
 
-    __slots__ = ("members", "src_slot", "target", "buf")
+    __slots__ = ("members", "src_slot", "target", "buf", "kernel", "label")
 
-    def __init__(self, steps: list[_BwdStep]):
+    def __init__(self, steps: list[_BwdStep], backend=None):
         self.members = tuple((s.rec, s.targets[0][0]) for s in steps)
         self.src_slot = steps[0].rec.out_slot
         self.target = steps[-1].targets[0]      # (pos, slot, is_leaf)
         self.buf = _Buf(steps[0].rec.out_dtype)
+        self.label = "chain:" + "+".join(s.rec.prim.name for s in steps)
+        self.kernel = None
+        if backend is not None:
+            self.kernel = backend.compile_chain(
+                [(s.rec.prim.name, s.rec.in_shapes, s.targets[0][0],
+                  s.rec.out_shape) for s in steps],
+                steps[0].rec.out_dtype)
 
     def run(self, rp: "_Replay") -> None:
         g = rp.p.cells[self.src_slot].read()
@@ -194,10 +227,16 @@ class _FusedChain:
                                       and final.base is not None)
         else:
             dst = self.buf.get(g.shape)
-            src = g
-            for rec, _pos in self.members:
-                rec.prim.ew(rec.ctx, rec.params, rec.in_requires, src, dst)
-                src = dst
+            done = False
+            if self.kernel is not None:
+                done = self.kernel.run(
+                    g, dst, [(rec.ctx, rec.params) for rec, _ in self.members])
+            if not done:
+                src = g
+                for rec, _pos in self.members:
+                    rec.prim.ew(rec.ctx, rec.params, rec.in_requires, src,
+                                dst)
+                    src = dst
             final = dst
             borrowed = False
         _pos, slot, leaf = self.target
@@ -292,7 +331,8 @@ class _Trace:
         self.steps.append(self.by_id[id(tensor)])
 
     # -- program construction -------------------------------------------
-    def build(self) -> _Program:
+    def build(self, backend=None) -> _Program:
+        backend = backend or _backends.get_backend("numpy")
         train = self.mode == "train"
         p = _Program()
         p.train = train
@@ -307,15 +347,19 @@ class _Trace:
         rec_of_slot: dict[int, _FwdRec] = {}
         raw_of_slot: dict[int, tuple] = {}
         for raw in self.records:
-            (prim, in_slots, in_requires, _in_shapes, o, out_req,
-             _out_shape, out_dtype, out_contig) = raw
+            (prim, in_slots, in_requires, in_shapes, o, out_req,
+             out_shape, out_dtype, out_contig) = raw
             r = _FwdRec()
             r.prim = prim
             r.in_slots = in_slots
             r.in_requires = in_requires
+            r.in_shapes = in_shapes
             r.need_ctx = out_req if train else False
             r.out_slot = o
             r.out_dtype = out_dtype
+            r.out_shape = out_shape
+            r.fwd_k = backend.fwd_kernel(prim) or prim.fwd
+            r.vjp_k = backend.vjp_kernel(prim) or prim.vjp
             # Pooled buffers are C-contiguous; when the traced output was
             # not (ufuncs propagate the layout of transpose-view operands,
             # and reduction bits depend on memory order), replay must let
@@ -380,7 +424,7 @@ class _Trace:
                     break
                 chain.append(steps[j])
             if len(chain) > 1:
-                p.items.append(_FusedChain(chain))
+                p.items.append(_FusedChain(chain, backend))
             else:
                 p.items.append(chain[0])
             i += len(chain)
@@ -413,15 +457,16 @@ class _Replay:
 
     replaying = True
 
-    __slots__ = ("p", "cursor", "slot_obj", "backward_done")
+    __slots__ = ("p", "cursor", "slot_obj", "backward_done", "prof")
 
-    def __init__(self, program: _Program):
+    def __init__(self, program: _Program, prof: dict | None = None):
         self.p = program
         self.cursor = 0
         # Intermediates are the program's persistent tensors; leaves are
         # rebound per call on first use.
         self.slot_obj: list[Tensor | None] = list(program.slot_tensor)
         self.backward_done = False
+        self.prof = prof   # label -> [calls, seconds] when profiling
 
     def apply(self, prim, inputs, params) -> Tensor:
         p = self.p
@@ -453,8 +498,14 @@ class _Replay:
                 slot_obj[s] = t
             else:
                 raise ReplayMismatch("op wiring changed")
-        data, ctx = rec.prim.fwd(tuple(t.data for t in inputs), params,
-                                 rec.need_ctx, rec.out_buf)
+        if self.prof is None:
+            data, ctx = rec.fwd_k(tuple(t.data for t in inputs), params,
+                                  rec.need_ctx, rec.out_buf)
+        else:
+            t0 = perf_counter()
+            data, ctx = rec.fwd_k(tuple(t.data for t in inputs), params,
+                                  rec.need_ctx, rec.out_buf)
+            _bump(self.prof, "fwd:" + rec.prim.name, perf_counter() - t0)
         if not isinstance(data, np.ndarray) or data.dtype != rec.out_dtype:
             data = np.asarray(data, dtype=rec.out_dtype)
         rec.ctx = ctx
@@ -484,8 +535,14 @@ class _Replay:
         seed = p.seed_buf.get(tensor.data.shape)
         seed.fill(1.0)
         p.cells[p.loss_slot].add(seed, False)
-        for item in p.items:
-            item.run(self)
+        if self.prof is None:
+            for item in p.items:
+                item.run(self)
+        else:
+            for item in p.items:
+                t0 = perf_counter()
+                item.run(self)
+                _bump(self.prof, item.label, perf_counter() - t0)
         self.backward_done = True
 
 
@@ -506,6 +563,17 @@ class CompiledStep:
     enabled:
         When false, calls pass straight through to ``fn`` (the
         ``nn.compile=false`` escape hatch).
+    backend:
+        Kernel backend name (``"numpy"``/``"numba"``/``"pyloop"``) or a
+        :class:`~repro.nn.backends.KernelBackend` instance; ``None``
+        uses the process's active backend.  Unavailable backends resolve
+        to numpy (one warning).  The backend's kernels are bound into
+        the program at build time; the first (traced) step always runs
+        the primitives' own numpy kernels.
+    profile:
+        When true, replay records per-kernel call counts and cumulative
+        seconds (``stats()["kernels"]``).  Off by default — the timer
+        call per kernel is cheap but not free.
     max_retraces:
         Re-trace budget per key after mismatches before the key is
         permanently demoted to eager execution.
@@ -516,29 +584,35 @@ class CompiledStep:
     """
 
     def __init__(self, fn, *, mode: str = "train", enabled: bool = True,
-                 max_retraces: int = 4):
+                 backend=None, profile: bool = False, max_retraces: int = 4):
         if mode not in ("train", "inference"):
             raise ValueError(f"unknown CompiledStep mode {mode!r}")
         self.fn = fn
         self.mode = mode
         self.enabled = enabled
+        self.requested_backend = (backend if isinstance(backend, (str,
+                                                                  type(None)))
+                                  else backend.name)
+        self.backend = _backends.resolve_backend(backend)
         self.max_retraces = max_retraces
         self._programs: dict = {}
         self._failures: dict = {}
         self._dead: set = set()
         self.last_failure: str | None = None
-        self.stats = {"traces": 0, "replays": 0, "mismatches": 0, "eager": 0}
+        self.counters = {"traces": 0, "replays": 0, "mismatches": 0,
+                         "eager": 0}
+        self._kernel_stats: dict | None = {} if profile else None
 
     def __call__(self, *args, key=None, **kwargs):
         # Nested compilation composes by flattening: when another
         # trace/replay is active, run plainly and let it record our ops.
         if not self.enabled or key in self._dead or get_tracer() is not None:
-            self.stats["eager"] += 1
+            self.counters["eager"] += 1
             return self.fn(*args, **kwargs)
         program = self._programs.get(key)
         if program is None:
             return self._trace(key, args, kwargs)
-        rep = _Replay(program)
+        rep = _Replay(program, self._kernel_stats)
         prev = set_tracer(rep)
         try:
             result = self.fn(*args, **kwargs)
@@ -546,7 +620,7 @@ class CompiledStep:
                 raise ReplayMismatch("step replayed fewer ops than recorded")
             if program.train and not rep.backward_done:
                 raise ReplayMismatch("step skipped backward during replay")
-            self.stats["replays"] += 1
+            self.counters["replays"] += 1
             return result
         except (ReplayMismatch, ValueError, IndexError) as exc:
             self.last_failure = str(exc)
@@ -555,11 +629,11 @@ class CompiledStep:
         # Divergence: drop the program and re-run the batch eagerly (the
         # step contract makes re-running safe).  A genuine error in fn
         # re-raises here, now with an honest eager traceback.
-        self.stats["mismatches"] += 1
+        self.counters["mismatches"] += 1
         self._programs.pop(key, None)
         self._note_failure(key)
         if key in self._dead:
-            self.stats["eager"] += 1
+            self.counters["eager"] += 1
             return self.fn(*args, **kwargs)
         return self._trace(key, args, kwargs)
 
@@ -570,11 +644,11 @@ class CompiledStep:
             result = self.fn(*args, **kwargs)
         finally:
             set_tracer(prev)
-        self.stats["traces"] += 1
+        self.counters["traces"] += 1
         if tr.failed is None and self.mode == "train" and tr.steps is None:
             tr.fail("traced step never called backward()")
         if tr.failed is None:
-            self._programs[key] = tr.build()
+            self._programs[key] = tr.build(self.backend)
         else:
             self.last_failure = tr.failed
             self._note_failure(key)
@@ -587,6 +661,27 @@ class CompiledStep:
             self._dead.add(key)
 
     # -- introspection ---------------------------------------------------
+    def stats(self) -> dict:
+        """Counters + backend identity + (when profiling) kernel times.
+
+        Always contains ``traces``/``replays``/``mismatches``/``eager``
+        and ``backend`` (requested vs resolved-active name).
+        ``kernels`` is ``None`` unless constructed with
+        ``profile=True``, in which case it maps replayed kernel labels
+        (``fwd:<prim>``, ``bwd:<prim>``, ``chain:<a>+<b>+…``) to
+        ``{"calls", "seconds"}`` accumulated across all replays.
+        """
+        info = dict(self.counters)
+        info["backend"] = {"requested": self.requested_backend,
+                           "active": self.backend.name}
+        if self._kernel_stats is None:
+            info["kernels"] = None
+        else:
+            info["kernels"] = {
+                label: {"calls": entry[0], "seconds": round(entry[1], 9)}
+                for label, entry in sorted(self._kernel_stats.items())}
+        return info
+
     def program_size(self, key=None) -> int | None:
         """Number of recorded forward ops for ``key`` (None if untraced)."""
         program = self._programs.get(key)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backends as _backends
 from .autograd import (SparseRowGrad, Tensor, _unbroadcast, apply_op,
                        as_tensor, defchain, defvjp, primitive)
 
@@ -465,7 +466,7 @@ def _scatter_mean_fwd(args, params, need_ctx, out):
     counts = np.bincount(groups, minlength=num_groups).astype(values.dtype)
     safe_counts = np.maximum(counts, 1.0)
     sums = np.zeros((num_groups, values.shape[-1]), dtype=values.dtype)
-    np.add.at(sums, groups, values)
+    _backends.scatter_add_rows(sums, groups, values)
     if out is None:
         data = sums / safe_counts[:, None]
     else:
@@ -503,7 +504,7 @@ def _scatter_sum_fwd(args, params, need_ctx, out):
     else:
         data = out.get(shape)
         data.fill(0.0)
-    np.add.at(data, groups, values)
+    _backends.scatter_add_rows(data, groups, values)
     return data, None
 
 
@@ -530,13 +531,13 @@ def _scatter_max_fwd(args, params, need_ctx, out):
     groups, num_groups = params["groups"], params["num_groups"]
     maxes = np.full((num_groups, values.shape[-1]), -np.inf,
                     dtype=values.dtype)
-    np.maximum.at(maxes, groups, values)
+    _backends.scatter_max_rows(maxes, groups, values)
     data = np.where(np.isneginf(maxes), 0.0, maxes)
     ctx = None
     if need_ctx:
         argmask = (values == maxes[groups]).astype(values.dtype)
         ties = np.zeros((num_groups, values.shape[-1]), dtype=values.dtype)
-        np.add.at(ties, groups, argmask)
+        _backends.scatter_add_rows(ties, groups, argmask)
         argmask /= np.maximum(ties, 1.0)[groups]
         ctx = (argmask,)
     return data, ctx

@@ -260,6 +260,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-compile", action="store_true",
                         help="disable the replay-compiled encoder pass "
                              "(pure eager inference)")
+    parser.add_argument("--backend", choices=("numpy", "numba"),
+                        default="numpy",
+                        help="kernel backend for the compiled encoder pass "
+                             "(numba falls back to numpy when the optional "
+                             "dependency is missing)")
+    parser.add_argument("--profile-kernels", action="store_true",
+                        help="record per-kernel replay counts and seconds "
+                             "(surfaced under /stats compile.kernels)")
     parser.add_argument("--staleness-events", type=float, default=0.0,
                         help="serve cached rows touched by up to this many "
                              "ingested blocks (0 = exact, the default)")
@@ -291,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
         compaction_threshold=args.compaction_threshold,
         verify_fingerprint=not args.no_verify_fingerprint,
         compile=not args.no_compile,
+        backend=args.backend,
+        profile_kernels=args.profile_kernels,
         staleness_events=args.staleness_events,
         index=args.index,
         index_nlist=args.index_nlist,

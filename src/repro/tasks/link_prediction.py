@@ -134,7 +134,8 @@ class LinkPredictionTask:
             loss.backward()
             return loss.item()
 
-        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step,
+                                backend=cfg.backend)
 
         producer = training_producer(self.split.train, cfg,
                                      neg_candidates=self._neg_sampler.candidates)

@@ -114,7 +114,8 @@ class NodeClassificationTask:
             loss.backward()
             return loss.item()
 
-        compiled = CompiledStep(train_step, enabled=cfg.compile_step)
+        compiled = CompiledStep(train_step, enabled=cfg.compile_step,
+                                backend=cfg.backend)
 
         producer = training_producer(self.split.train, cfg)
         last_batch = producer.plan.batches_per_epoch - 1

@@ -89,15 +89,15 @@ class TestCompiledStepTraining:
         assert compiled_losses == eager_losses
         for p, g in zip(net2.parameters(), eager_grads):
             assert np.array_equal(p.grad, g)
-        assert compiled.stats["traces"] == 1
-        assert compiled.stats["replays"] == len(xs) - 1
+        assert compiled.stats()["traces"] == 1
+        assert compiled.stats()["replays"] == len(xs) - 1
 
     def test_replayed_gradients_pass_gradcheck(self):
         net, xs, ys = self._problem()
         compiled = CompiledStep(self._step_fn(net))
         compiled(xs[0], ys[0], key="k")
         compiled(xs[1], ys[1], key="k")       # replayed call
-        assert compiled.stats["replays"] == 1
+        assert compiled.stats()["replays"] == 1
         x, y = xs[1], ys[1]
         for param in net.parameters():
             def loss_value():
@@ -122,8 +122,8 @@ class TestCompiledStepTraining:
         compiled = CompiledStep(self._step_fn(net2))
         assert compiled(xs[0], ys[0], key="same") == eager_a
         assert compiled(x2, y2, key="same") == eager_b
-        assert compiled.stats["mismatches"] == 0
-        assert compiled.stats["replays"] == 1
+        assert compiled.stats()["mismatches"] == 0
+        assert compiled.stats()["replays"] == 1
         for p, g in zip(net2.parameters(), eager_grads):
             assert np.array_equal(p.grad, g)
 
@@ -154,7 +154,7 @@ class TestCompiledStepTraining:
         compiled = CompiledStep(step2)
         assert compiled(x_small, key="k") == ref_a
         assert compiled(x_big, key="k") == ref_b          # diverges -> eager
-        assert compiled.stats["mismatches"] == 1
+        assert compiled.stats()["mismatches"] == 1
         for p, g in zip(net2.parameters(), ref_grads):
             assert np.array_equal(p.grad, g)
 
@@ -176,7 +176,7 @@ class TestCompiledStepTraining:
         for _ in range(8):
             compiled(None, key="k")
         assert "k" in compiled._dead
-        assert compiled.stats["eager"] >= 1
+        assert compiled.stats()["eager"] >= 1
 
     def test_no_grad_inside_compiled_step(self):
         rng = np.random.default_rng(2)
@@ -204,8 +204,11 @@ class TestCompiledStepTraining:
         compiled = CompiledStep(self._step_fn(net), enabled=False)
         for x, y in zip(xs, ys):
             compiled(x, y, key="k")
-        assert compiled.stats == {"traces": 0, "replays": 0,
-                                  "mismatches": 0, "eager": len(xs)}
+        assert compiled.counters == {"traces": 0, "replays": 0,
+                                     "mismatches": 0, "eager": len(xs)}
+        assert compiled.stats()["backend"] == {"requested": None,
+                                               "active": "numpy"}
+        assert compiled.stats()["kernels"] is None
         assert compiled.program_size("k") is None
 
 
@@ -235,7 +238,7 @@ class TestInferenceMode:
         assert graph_nodes_created() == before
         for a, b in zip(eager, replayed):
             assert np.array_equal(a, b)
-        assert compiled.stats["replays"] == len(xs) - 1
+        assert compiled.stats()["replays"] == len(xs) - 1
 
     def test_backward_during_inference_trace_demotes(self):
         net = self._encoder_like()

@@ -346,6 +346,8 @@ class TestEmbeddingService:
             served2, eager_service.embed(nodes, ts + 2.0))
         stats = service.stats()["compile"]
         assert stats["replays"] >= 1 and stats["mismatches"] == 0
+        assert stats["backend"]["active"] == "numpy"
+        assert service.stats()["backend"] == "numpy"
 
     def test_featured_service_requires_edge_feats_on_ingest(self):
         _, pre, suffix = make_split_stream(9, edge_dim=3)
