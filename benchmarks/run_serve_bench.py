@@ -40,6 +40,7 @@ import numpy as np
 from repro.api import PretrainArtifact, RunConfig, stream_fingerprint
 from repro.core import CPDGConfig, CPDGPreTrainer
 from repro.graph.events import EventStream
+from repro.obs import summarize_latencies
 from repro.serve import EmbeddingService
 
 SCALES = {
@@ -115,19 +116,19 @@ def timed_requests(service: EmbeddingService, queries: list) -> dict:
         latencies.append(time.perf_counter() - t0)
     elapsed = time.perf_counter() - start
     total = sum(len(nodes) for nodes, _ in queries)
-    latencies_ms = np.asarray(latencies) * 1e3
+    summary = summarize_latencies(latencies)
     return {
         "queries_per_sec": round(total / elapsed, 2),
         "requests_per_sec": round(len(queries) / elapsed, 2),
-        "p50_ms": round(float(np.percentile(latencies_ms, 50)), 3),
-        "p99_ms": round(float(np.percentile(latencies_ms, 99)), 3),
+        "p50_ms": round(summary["p50"] * 1e3, 3),
+        "p99_ms": round(summary["p99"] * 1e3, 3),
     }
 
 
 def ingest_percentiles(service: EmbeddingService) -> dict:
-    block_ms = np.asarray(service._ingestor.stats.block_seconds) * 1e3
-    return {"p50_ms": round(float(np.percentile(block_ms, 50)), 3),
-            "p99_ms": round(float(np.percentile(block_ms, 99)), 3)}
+    summary = summarize_latencies(service._ingestor.stats.block_seconds)
+    return {"p50_ms": round(summary["p50"] * 1e3, 3),
+            "p99_ms": round(summary["p99"] * 1e3, 3)}
 
 
 def bench_ingest(service: EmbeddingService, live: EventStream,

@@ -25,6 +25,7 @@ import argparse
 import json
 import sys
 
+from . import obs as _obs
 from .api import (ArtifactError, ConfigError, Pipeline, PretrainArtifact,
                   RunConfig, parse_set_args)
 from .stream import StreamError
@@ -52,6 +53,10 @@ def _load_run_config(args: argparse.Namespace,
     shard_dir = getattr(args, "shard_dir", None)
     if shard_dir is not None:
         overrides = {"pretrain.shard_dir": shard_dir, **overrides}
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        overrides = {"obs.enabled": True, "obs.trace_path": trace,
+                     **overrides}
     if overrides:
         config = config.with_overrides(overrides)
     flags = {}
@@ -185,9 +190,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         argv.append("--no-background-compaction")
     if args.restore_snapshot is not None:
         argv += ["--restore-snapshot", args.restore_snapshot]
+    if args.trace is not None:
+        argv += ["--trace", args.trace]
     if args.quiet:
         argv.append("--quiet")
     return serve_main(argv)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "report":
+        if not args.trace:
+            print("error: obs report needs --trace FILE", file=sys.stderr)
+            return 2
+        try:
+            records = _obs.load_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(_obs.format_report(records))
+        return 0
+    print(f"error: unknown obs action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +285,13 @@ def _add_config_options(parser: argparse.ArgumentParser,
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="batch-producer worker processes (0 = "
                              "in-process; overrides *.num_workers)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="enable span tracing and append JSONL span "
+                             "records to FILE (sets obs.enabled and "
+                             "obs.trace_path)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the process metrics registry "
+                             "(Prometheus text) after the command finishes")
     if with_model_flags:
         parser.add_argument("--task", default=None,
                             help="link_prediction | node_classification")
@@ -359,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--restore-snapshot", metavar="FILE", default=None,
                      help="boot from a live-state snapshot (see POST "
                           "/snapshot) instead of the bare artifact")
+    srv.add_argument("--trace", metavar="FILE", default=None,
+                     help="enable span tracing and append JSONL span "
+                          "records to FILE")
     srv.add_argument("--quiet", action="store_true")
 
     fw = sub.add_parser(
@@ -389,13 +422,26 @@ def main(argv: list[str] | None = None) -> int:
                                     help="print a dataset's temporal profile")
     profile_parser.add_argument("dataset")
 
+    obs_parser = sub.add_parser(
+        "obs", help="observability tools (per-stage latency report from "
+                    "a trace log)")
+    obs_parser.add_argument("action", choices=("report",),
+                            help="report: aggregate a JSONL trace log "
+                                 "into a per-span latency table")
+    obs_parser.add_argument("--trace", metavar="FILE", required=False,
+                            help="trace log written by --trace / "
+                                 "obs.trace_path")
+
     args = parser.parse_args(argv)
     handlers = {"pretrain": _cmd_pretrain, "finetune": _cmd_finetune,
                 "evaluate": _cmd_evaluate, "serve": _cmd_serve,
-                "fabric-worker": _cmd_fabric_worker,
+                "fabric-worker": _cmd_fabric_worker, "obs": _cmd_obs,
                 "list": _cmd_list, "run": _cmd_run, "profile": _cmd_profile}
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        if getattr(args, "metrics", False):
+            print(_obs.render_prometheus(), end="")
+        return code
     except (ConfigError, ArtifactError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -24,7 +24,7 @@ from ..core.config import CPDGConfig
 from ..dgnn.encoder import BACKBONES
 from ..tasks.finetune import STRATEGIES, FineTuneConfig
 
-__all__ = ["ConfigError", "DataConfig", "RunConfig", "TASKS",
+__all__ = ["ConfigError", "DataConfig", "ObsConfig", "RunConfig", "TASKS",
            "parse_override", "parse_set_args"]
 
 TASKS = ("link_prediction", "node_classification")
@@ -101,6 +101,24 @@ class DataConfig:
 
 
 @dataclass
+class ObsConfig:
+    """Observability knobs (the :mod:`repro.obs` subsystem).
+
+    Metrics counters are always on (they are near-free); these knobs
+    control *span tracing*, which times every instrumented stage and is
+    off by default.
+    """
+
+    enabled: bool = False        # span tracing on/off
+    trace_path: str | None = None  # JSONL span log (None: buffer only)
+    trace_buffer: int = 4096     # bounded in-memory span records
+
+    def validate(self) -> None:
+        if self.trace_buffer < 1:
+            raise ConfigError("obs.trace_buffer must be >= 1")
+
+
+@dataclass
 class RunConfig:
     """Everything one pretrain → fine-tune → evaluate run needs."""
 
@@ -111,6 +129,7 @@ class RunConfig:
     data: DataConfig = field(default_factory=DataConfig)
     pretrain: CPDGConfig = field(default_factory=CPDGConfig)
     finetune: FineTuneConfig = field(default_factory=FineTuneConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     # ------------------------------------------------------------------
     # validation
@@ -124,6 +143,7 @@ class RunConfig:
             raise ConfigError(f"unknown strategy {self.strategy!r}; "
                               f"expected one of {STRATEGIES}")
         self.data.validate()
+        self.obs.validate()
         try:
             self.pretrain.validate()
         except ValueError as exc:
@@ -141,7 +161,7 @@ class RunConfig:
         if not isinstance(payload, dict):
             raise ConfigError(f"expected a mapping, got {type(payload).__name__}")
         sections = {"data": DataConfig, "pretrain": CPDGConfig,
-                    "finetune": FineTuneConfig}
+                    "finetune": FineTuneConfig, "obs": ObsConfig}
         top = {f.name for f in fields(cls)}
         unknown = set(payload) - top
         if unknown:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 
+from .. import obs as _obs
 from ..core.pretrainer import CPDGPreTrainer
 from ..datasets.splits import DownstreamSplit
 from ..graph.events import EventStream
@@ -102,6 +103,14 @@ class Pipeline:
         self.artifact.save(path)
         return self
 
+    def _configure_obs(self) -> None:
+        """Apply the run config's obs section to the process-wide
+        tracer (idempotent; each stage entry re-applies it so the knobs
+        win over whatever an earlier run configured)."""
+        o = self.config.obs
+        _obs.configure(enabled=o.enabled, trace_path=o.trace_path,
+                       buffer_size=o.trace_buffer)
+
     # ------------------------------------------------------------------
     # stage 1: pre-training
     # ------------------------------------------------------------------
@@ -121,6 +130,7 @@ class Pipeline:
         # as-run config) see it, but the pipeline's own config is
         # untouched for later stages/runs.
         config = self.config
+        self._configure_obs()
         if num_workers is not None:
             config = config.with_overrides(
                 {"pretrain.num_workers": int(num_workers)})
@@ -160,6 +170,7 @@ class Pipeline:
         downstream split resolved from ``config.data``.  ``strategy="none"``
         trains the randomly-initialised control arm and needs no artifact.
         """
+        self._configure_obs()
         task = normalize_task(task if task is not None else self.config.task)
         strategy = strategy if strategy is not None else self.config.strategy
 
@@ -230,6 +241,7 @@ class Pipeline:
         (or call :meth:`finetune` yourself) to force re-training.
         ``verbose`` applies to any fallback fine-tuning run.
         """
+        self._configure_obs()
         if self._runner is None:
             if refit or not self._load_saved_finetuned():
                 self.finetune(verbose=verbose)

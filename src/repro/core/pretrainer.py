@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs as _obs
 from ..dgnn.encoder import DGNNEncoder, make_encoder
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
@@ -196,35 +197,41 @@ class CPDGPreTrainer:
             """
             batch = prepared.batch
             optimizer.zero_grad()
-            encoder.flush_staged(staged)
-            z_src = encoder.compute_embedding(batch.src, batch.timestamps)
-            z_dst = encoder.compute_embedding(batch.dst, batch.timestamps)
-            z_neg = encoder.compute_embedding(batch.neg_dst,
-                                              batch.timestamps)
-            memory = encoder.flush_messages()
+            # The spans are plain Python context managers — they record
+            # no autograd ops, so they are safe inside the traced region.
+            with _obs.span("pretrain.forward"):
+                encoder.flush_staged(staged)
+                z_src = encoder.compute_embedding(batch.src,
+                                                  batch.timestamps)
+                z_dst = encoder.compute_embedding(batch.dst,
+                                                  batch.timestamps)
+                z_neg = encoder.compute_embedding(batch.neg_dst,
+                                                  batch.timestamps)
+                memory = encoder.flush_messages()
 
-            zero = Tensor(0.0)
-            loss_eta = zero
-            if spec.sample_temporal:
-                loss_eta = contrast_loss_from_pairs(
-                    z_src, memory, *prepared.temporal_pairs,
-                    readout=cfg.readout, objective=cfg.objective,
-                    margin=cfg.margin)
-            loss_eps = zero
-            if spec.sample_structural:
-                loss_eps = contrast_loss_from_pairs(
-                    z_src, memory, *prepared.structural_pairs,
-                    readout=cfg.readout, objective=cfg.objective,
-                    margin=cfg.margin)
-            loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
+                zero = Tensor(0.0)
+                loss_eta = zero
+                if spec.sample_temporal:
+                    loss_eta = contrast_loss_from_pairs(
+                        z_src, memory, *prepared.temporal_pairs,
+                        readout=cfg.readout, objective=cfg.objective,
+                        margin=cfg.margin)
+                loss_eps = zero
+                if spec.sample_structural:
+                    loss_eps = contrast_loss_from_pairs(
+                        z_src, memory, *prepared.structural_pairs,
+                        readout=cfg.readout, objective=cfg.objective,
+                        margin=cfg.margin)
+                loss_tlp = self.pretext.loss(z_src, z_dst, z_neg)
 
-            loss = loss_tlp
-            if cfg.use_temporal_contrast:
-                loss = loss + (1.0 - cfg.beta) * loss_eta
-            if cfg.use_structural_contrast:
-                loss = loss + cfg.beta * loss_eps
+                loss = loss_tlp
+                if cfg.use_temporal_contrast:
+                    loss = loss + (1.0 - cfg.beta) * loss_eta
+                if cfg.use_structural_contrast:
+                    loss = loss + cfg.beta * loss_eps
 
-            loss.backward()
+            with _obs.span("pretrain.backward"):
+                loss.backward()
             return loss_eta.item(), loss_eps.item(), loss_tlp.item()
 
         compiled = CompiledStep(train_step, enabled=cfg.compile_step,
@@ -249,8 +256,19 @@ class CPDGPreTrainer:
             # Route eager-path row scatters (readout forwards, sparse
             # embedding backward) through the configured backend too —
             # replay only accelerates what happens inside traced steps.
+            steps_total = _obs.counter("repro_pretrain_steps_total",
+                                       help="completed gradient steps")
             with _backends.use_backend(cfg.backend), producer:
-                for prepared in producer:
+                batches = iter(producer)
+                while True:
+                    # Manual iteration so the wait for the next prepared
+                    # batch is its own span — producer stalls show up as
+                    # pretrain.produce time, not as mystery step time.
+                    with _obs.span("pretrain.produce"):
+                        try:
+                            prepared = next(batches)
+                        except StopIteration:
+                            break
                     if prepared.epoch != current_epoch:
                         if verbose and current_epoch >= 0:
                             self._print_epoch(current_epoch, history)
@@ -260,13 +278,16 @@ class CPDGPreTrainer:
                     staged = encoder.take_staged()
                     losses = compiled(prepared, staged,
                                       key=step_key(prepared, staged))
-                    clip_grad_norm(params, cfg.grad_clip)
-                    optimizer.step()
+                    with _obs.span("pretrain.optim"):
+                        clip_grad_norm(params, cfg.grad_clip)
+                        optimizer.step()
 
-                    encoder.register_batch(prepared.batch,
-                                           messages=prepared.messages)
-                    encoder.end_batch()
+                    with _obs.span("pretrain.register"):
+                        encoder.register_batch(prepared.batch,
+                                               messages=prepared.messages)
+                        encoder.end_batch()
                     history.append(losses)
+                    steps_total += 1
 
                     if schedule.should_checkpoint(step):
                         checkpoints.add(encoder.memory_checkpoint())

@@ -30,6 +30,7 @@ import time
 import traceback
 from dataclasses import replace
 
+from .. import obs as _obs
 from ..stream import BatchPlan, ProducerSpec, shard_fingerprint
 from .ledger import LeaseLedger
 from .protocol import (BYE, ERROR, HEARTBEAT, HELLO, LEASE,
@@ -98,6 +99,13 @@ class FabricCoordinator:
         self.ledger = LeaseLedger(plan, window=max(int(prefetch), 1))
         self.results: queue.Queue = queue.Queue()
         self.error: tuple[str, str] | None = None
+        # Crash attribution riding along with `error`: the failing seq
+        # and the worker's last span name (kept separate so `who, tb =
+        # coord.error` call sites stay valid).
+        self.error_context: dict | None = None
+        self._lease_hist = _obs.histogram(
+            "repro_fabric_lease_seconds",
+            help="lease grant-to-result latency", replace=True)
 
         self._lock = threading.Lock()
         self._shutdown = threading.Event()
@@ -171,11 +179,11 @@ class FabricCoordinator:
                 "fingerprint": self.fingerprint,
                 "total": self.ledger.total,
                 "done": self.ledger.done_count,
-                "granted": counters.granted,
-                "completed": counters.completed,
-                "duplicates": counters.duplicates,
-                "reclaimed_expired": counters.reclaimed_expired,
-                "reclaimed_disconnect": counters.reclaimed_disconnect,
+                "granted": int(counters.granted),
+                "completed": int(counters.completed),
+                "duplicates": int(counters.duplicates),
+                "reclaimed_expired": int(counters.reclaimed_expired),
+                "reclaimed_disconnect": int(counters.reclaimed_disconnect),
                 "reclaim_log": list(counters.reclaim_log),
                 "workers_joined": self._counts["joined"],
                 "workers_rejected": self._counts["rejected"],
@@ -312,16 +320,23 @@ class FabricCoordinator:
             self._handshake(conn, message)
         elif kind == RESULT and conn.active:
             seq = int(message["seq"])
+            now = time.monotonic()
             with self._lock:
+                lease = self.ledger.lease_for(seq)
                 fresh = self.ledger.complete(seq, conn.name)
             if fresh:
-                self.results.put((seq, message["batch"], time.monotonic()))
+                if lease is not None:
+                    self._lease_hist.observe(now - lease.granted_at)
+                _obs.record_remote(message.get("span"))
+                self.results.put((seq, message["batch"], now))
         elif kind == HEARTBEAT:
             pass  # last_seen already refreshed above
         elif kind == ERROR:
             if self.error is None:
                 self.error = (conn.name or str(conn.addr),
                               message.get("traceback", "<no traceback>"))
+                self.error_context = {"seq": message.get("seq"),
+                                      "last_span": message.get("last_span")}
             self._shutdown.set()
         elif kind == BYE:
             self._drop(conn)
@@ -372,9 +387,17 @@ class FabricCoordinator:
     def _reap(self, now: float) -> None:
         with self._lock:
             self.ledger.reclaim_expired(now)
-        stale = [conn for conn in self._connections.values()
-                 if conn.active
-                 and now - conn.last_seen > self.heartbeat_timeout]
+        stale = []
+        for conn in self._connections.values():
+            if not conn.active:
+                continue
+            age = now - conn.last_seen
+            _obs.gauge("repro_fabric_heartbeat_age_seconds",
+                       labels={"worker": conn.name},
+                       help="seconds since the worker was last heard "
+                            "from").set(age)
+            if age > self.heartbeat_timeout:
+                stale.append(conn)
         for conn in stale:
             self._drop(conn)  # reclaims its leases
 
@@ -399,8 +422,14 @@ class FabricCoordinator:
                         avoid_repeat=len(eligible) > 1)
                 if item is None:
                     continue
-                self._send(conn, {"type": LEASE, "item": item,
-                                  "deadline": now + self.lease_timeout})
+                lease_msg = {"type": LEASE, "item": item,
+                             "deadline": now + self.lease_timeout}
+                ctx = _obs.current_context()
+                if ctx is not None:
+                    # Propagate the trace context so the worker's
+                    # production span links back to this run's trace.
+                    lease_msg["trace"] = ctx
+                self._send(conn, lease_msg)
                 granted = True
             if not granted:
                 return

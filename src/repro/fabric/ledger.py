@@ -24,8 +24,9 @@ under its own lock.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .. import obs as _obs
 from ..stream import BatchPlan, WorkItem
 
 __all__ = ["Lease", "LedgerCounters", "LeaseLedger"]
@@ -41,16 +42,26 @@ class Lease:
     granted_at: float
 
 
-@dataclass
 class LedgerCounters:
-    """Observable ledger activity (surfaced via ``coordinator.stats()``)."""
+    """Observable ledger activity (surfaced via ``coordinator.stats()``).
 
-    granted: int = 0
-    completed: int = 0
-    duplicates: int = 0
-    reclaimed_expired: int = 0
-    reclaimed_disconnect: int = 0
-    reclaim_log: list[tuple[float, str, int]] = field(default_factory=list)
+    Each field is a registry-backed :class:`repro.obs.Counter`
+    (``repro_fabric_leases_*_total``), so ``GET /metrics`` and the JSON
+    snapshot see the same numbers ``coordinator.stats()`` reports.  The
+    counters compare equal to their int values, keeping existing
+    consumers unchanged; ``reclaim_log`` stays a plain in-memory list
+    (it is an event log, not a metric)."""
+
+    _FIELDS = ("granted", "completed", "duplicates", "reclaimed_expired",
+               "reclaimed_disconnect")
+
+    def __init__(self):
+        for name in self._FIELDS:
+            setattr(self, name,
+                    _obs.counter(f"repro_fabric_leases_{name}_total",
+                                 help=f"fabric lease {name} count",
+                                 replace=True))
+        self.reclaim_log: list[tuple[float, str, int]] = []
 
 
 class LeaseLedger:

@@ -17,6 +17,7 @@ import tempfile
 import time
 from dataclasses import replace
 
+from .. import obs as _obs
 from ..graph.events import EventStream
 from ..graph.neighbor_finder import NeighborFinder
 from ..stream import (BatchPlan, BatchProducer, ProducerSpec, StreamError,
@@ -168,8 +169,13 @@ class FabricProducer(BatchProducer):
         coord = self.coordinator
         if coord.error is not None:
             who, tb = coord.error
+            context = ""
+            ctx = coord.error_context
+            if ctx and (ctx.get("seq") is not None or ctx.get("last_span")):
+                context = (f" (lease seq={ctx.get('seq')}, "
+                           f"last span={ctx.get('last_span')})")
             self.close()
-            raise StreamError(f"fabric worker {who!r} failed:\n{tb}")
+            raise StreamError(f"fabric worker {who!r} failed{context}:\n{tb}")
         if not coord.thread_alive and not coord.finished:
             self.close()
             raise StreamError("fabric coordinator thread died")
@@ -179,10 +185,9 @@ class FabricProducer(BatchProducer):
         stats = self.coordinator.stats() if self.coordinator else {}
         waits = self.reassembly_waits
         if waits:
-            ordered = sorted(waits)
-            stats["reassembly_wait_mean_s"] = sum(waits) / len(waits)
-            stats["reassembly_wait_p99_s"] = ordered[
-                min(len(ordered) - 1, int(0.99 * len(ordered)))]
+            summary = _obs.summarize_latencies(waits)
+            stats["reassembly_wait_mean_s"] = summary["mean"]
+            stats["reassembly_wait_p99_s"] = summary["p99"]
         return stats
 
     def close(self) -> None:

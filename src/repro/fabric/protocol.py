@@ -20,6 +20,15 @@ Message flow::
       |<--- SHUTDOWN ------------------|   plan complete / producer closed
       |---- BYE ---------------------->|   graceful leave (leases reclaim)
 
+Observability riders (all optional, ignored by peers that predate
+them): when coordinator-side tracing is enabled a LEASE carries a
+``trace`` context (``{"trace", "span"}`` ids from
+:func:`repro.obs.current_context`), the matching RESULT carries back a
+``span`` record of the worker-side production
+(:func:`repro.obs.remote_span_record`), and an ERROR carries ``seq``
+and ``last_span`` so the consumer's :class:`~repro.stream.StreamError`
+can attribute the crash without coordinator logs.
+
 The handshake carries a **fingerprint** so a worker that mounted the
 wrong shard directory (or an out-of-date export) is rejected instead of
 silently producing batches from a different graph:

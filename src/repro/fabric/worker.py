@@ -26,6 +26,7 @@ import time
 import traceback
 from dataclasses import replace
 
+from .. import obs as _obs
 from ..stream import (SamplingContext, has_range_shards,
                       open_range_sharded_finder, open_stream_shards,
                       produce_batch, shard_fingerprint)
@@ -114,6 +115,7 @@ class FabricWorker:
                 daemon=True, name=f"repro-fabric-heartbeat-{self.name}")
             heartbeat.start()
 
+            last_seq = None
             while True:
                 message = recv_frame(sock)
                 if message is None or message.get("type") == SHUTDOWN:
@@ -122,18 +124,33 @@ class FabricWorker:
                 if message.get("type") != LEASE:
                     continue
                 item = message["item"]
+                last_seq = item.seq
+                trace_ctx = message.get("trace")
                 try:
+                    wall0 = time.perf_counter()
+                    cpu0 = time.process_time()
                     batch = produce_batch(ctx, item).materialize()
+                    wall = time.perf_counter() - wall0
+                    cpu = time.process_time() - cpu0
                 except BaseException:
                     with send_lock:
                         send_frame(sock, {"type": ERROR,
                                           "worker": self.name,
+                                          "seq": last_seq,
+                                          "last_span": "fabric.produce",
                                           "traceback":
                                               traceback.format_exc()})
                     raise
+                result = {"type": RESULT, "seq": item.seq, "batch": batch}
+                if trace_ctx is not None:
+                    # The coordinator propagated its trace context; ship
+                    # back a span record of this item's production (the
+                    # worker's own tracing stays off).
+                    result["span"] = _obs.remote_span_record(
+                        trace_ctx, "fabric.produce", wall, cpu,
+                        worker=self.name, seq=int(item.seq))
                 with send_lock:
-                    send_frame(sock, {"type": RESULT, "seq": item.seq,
-                                      "batch": batch})
+                    send_frame(sock, result)
                 produced += 1
                 if max_results is not None and produced >= max_results:
                     break  # no BYE: simulate a crash

@@ -47,6 +47,7 @@ import numpy as np
 from . import backends as _backends
 from .autograd import (SparseRowGrad, Tensor, _concat_sparse, _eager_apply,
                        get_tracer, set_tracer)
+from .. import obs as _obs
 
 __all__ = ["CompiledStep", "ReplayMismatch"]
 
@@ -599,8 +600,15 @@ class CompiledStep:
         self._failures: dict = {}
         self._dead: set = set()
         self.last_failure: str | None = None
-        self.counters = {"traces": 0, "replays": 0, "mismatches": 0,
-                         "eager": 0}
+        # Registry-backed counters (repro_compile_*_total{mode=}); the
+        # dict shape is part of the public surface, and each Counter
+        # compares equal to its int value so existing consumers hold.
+        labels = {"mode": mode}
+        self.counters = {
+            name: _obs.counter(f"repro_compile_{name}_total", labels=labels,
+                               help=f"CompiledStep {name} count",
+                               replace=True)
+            for name in ("traces", "replays", "mismatches", "eager")}
         self._kernel_stats: dict | None = {} if profile else None
 
     def __call__(self, *args, key=None, **kwargs):
@@ -671,7 +679,7 @@ class CompiledStep:
         (``fwd:<prim>``, ``bwd:<prim>``, ``chain:<a>+<b>+…``) to
         ``{"calls", "seconds"}`` accumulated across all replays.
         """
-        info = dict(self.counters)
+        info = {name: int(c) for name, c in self.counters.items()}
         info["backend"] = {"requested": self.requested_backend,
                            "active": self.backend.name}
         if self._kernel_stats is None:

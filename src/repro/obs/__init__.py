@@ -1,0 +1,36 @@
+"""``repro.obs`` — unified metrics + span tracing, dependency-free.
+
+One observability schema across the train/stream/fabric/serve stack:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` (thread-safe,
+  numpy-backed, Prometheus-text + JSON exporters) and the shared
+  :func:`summarize_latencies` nearest-rank percentile helper.
+* :mod:`repro.obs.trace` — ``with span("pretrain.forward"):`` wall/CPU
+  timing into a bounded buffer and an optional JSONL trace log, with
+  trace-context propagation over the fabric wire protocol.
+* :mod:`repro.obs.report` — the ``repro obs report`` per-stage table.
+
+Counters and gauges are always on (they back the subsystems' existing
+``stats()`` surfaces); span tracing costs one attribute read when
+disabled (the default) and is switched on by ``obs.enabled`` /
+``--trace``.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, counter,
+                      gauge, histogram, registry, render_prometheus,
+                      snapshot, summarize_latencies)
+from .report import aggregate_spans, format_report, load_trace
+from .trace import (configure, current_context, flush, is_enabled,
+                    last_span, record_remote, remote_span_record, reset,
+                    span, trace_buffer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "counter", "gauge", "histogram", "registry",
+    "render_prometheus", "snapshot", "summarize_latencies",
+    "configure", "is_enabled", "span", "current_context", "last_span",
+    "record_remote", "remote_span_record", "trace_buffer", "reset",
+    "flush",
+    "load_trace", "aggregate_spans", "format_report",
+]

@@ -1,0 +1,246 @@
+"""Span tracing: where did this step's milliseconds go.
+
+``with span("pretrain.forward", epoch=3):`` records one *span* — wall
+and CPU time, a trace/span/parent id triple, and arbitrary attributes —
+into a bounded in-memory buffer and (when configured) a JSONL trace log
+one record per line.  Naming convention: ``<subsystem>.<stage>``
+(``pretrain.produce``, ``serve.embed``, ``fabric.produce``).
+
+Tracing is **off by default** and the disabled path allocates nothing:
+``span()`` returns a shared no-op singleton, so a hot loop pays one
+function call and one attribute read per stage.  Enable with
+:func:`configure` (the ``obs.enabled`` config knob / ``--trace`` CLI
+flag end up here).
+
+**Cross-process propagation.**  Spans nest per thread via a
+thread-local stack; a process boundary (the fabric wire protocol)
+carries the context explicitly instead: the coordinator attaches
+:func:`current_context` to LEASE frames, the worker measures its
+production under that context with :func:`remote_span_record` (which
+works even though the *worker's* tracing is off — the record is built
+unconditionally and shipped back in the RESULT frame), and the
+coordinator feeds it to :func:`record_remote`.  The trace log then
+links coordinator-side waits to worker-side execution by ``trace`` id.
+
+Every completed span also feeds the ``repro_span_seconds`` histogram
+(labelled by span name), so ``GET /metrics`` shows stage latencies
+without parsing the trace log.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from . import metrics as _metrics
+
+__all__ = ["configure", "is_enabled", "span", "current_context",
+           "last_span", "record_remote", "remote_span_record",
+           "trace_buffer", "reset", "flush"]
+
+_lock = threading.Lock()
+_enabled = False
+_trace_path: str | None = None
+_trace_file = None
+_buffer: deque = deque(maxlen=4096)
+_ids = itertools.count(1)
+_local = threading.local()
+
+
+def _next_id() -> str:
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+def configure(enabled: bool | None = None, trace_path: str | None = None,
+              buffer_size: int | None = None) -> None:
+    """(Re)configure tracing; ``None`` leaves a setting unchanged,
+    except ``trace_path`` which always replaces the current sink
+    (pass the current path to keep it)."""
+    global _enabled, _trace_path, _trace_file, _buffer
+    with _lock:
+        if enabled is not None:
+            _enabled = bool(enabled)
+        if buffer_size is not None and buffer_size != _buffer.maxlen:
+            _buffer = deque(_buffer, maxlen=max(int(buffer_size), 1))
+        if trace_path != _trace_path:
+            if _trace_file is not None:
+                try:
+                    _trace_file.close()
+                except OSError:
+                    pass
+                _trace_file = None
+            _trace_path = trace_path
+            if trace_path is not None:
+                _trace_file = open(trace_path, "a", buffering=1)
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Disable tracing, close the sink, clear buffered spans (tests)."""
+    configure(enabled=False, trace_path=None)
+    with _lock:
+        _buffer.clear()
+    _local.__dict__.clear()
+
+
+def flush() -> None:
+    """Flush the JSONL sink (line-buffered already; belt and braces)."""
+    with _lock:
+        if _trace_file is not None:
+            try:
+                _trace_file.flush()
+            except OSError:
+                pass
+
+
+def trace_buffer() -> list[dict]:
+    """A copy of the bounded in-memory span buffer (newest last)."""
+    with _lock:
+        return list(_buffer)
+
+
+def last_span() -> str | None:
+    """Name of this thread's most recently *entered* span (crash
+    attribution: what was in flight when a worker died)."""
+    return getattr(_local, "last_name", None)
+
+
+def current_context() -> dict | None:
+    """``{"trace", "span"}`` of the innermost open span, for wire
+    propagation; ``None`` when tracing is off.  With tracing on but no
+    open span, a fresh root context is minted (so a LEASE granted
+    outside any span still links its worker-side record)."""
+    if not _enabled:
+        return None
+    stack = getattr(_local, "stack", None)
+    if stack:
+        top = stack[-1]
+        return {"trace": top[0], "span": top[1]}
+    return {"trace": _next_id(), "span": None}
+
+
+def _emit(record: dict) -> None:
+    with _lock:
+        _buffer.append(record)
+        if _trace_file is not None:
+            try:
+                _trace_file.write(json.dumps(record) + "\n")
+            except OSError:
+                pass
+    _metrics.histogram("repro_span_seconds",
+                       labels={"span": record["name"]},
+                       help="span wall time by stage").observe(
+                           record["wall_s"])
+
+
+class _NoopSpan:
+    """Shared do-nothing span — the disabled fast path allocates
+    nothing and records nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id",
+                 "_wall0", "_cpu0")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        if stack:
+            self.trace_id, self.parent_id = stack[-1][0], stack[-1][1]
+        else:
+            self.trace_id, self.parent_id = _next_id(), None
+        self.span_id = _next_id()
+        stack.append((self.trace_id, self.span_id))
+        _local.last_name = self.name
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        stack = getattr(_local, "stack", None)
+        if stack:
+            stack.pop()
+        record = {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "ts": time.time(),
+            "wall_s": round(wall, 9),
+            "cpu_s": round(cpu, 9),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        _emit(record)
+        return False
+
+
+def span(name: str, **attrs):
+    """Context manager timing one stage; no-op singleton when tracing
+    is disabled."""
+    if not _enabled:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+# ----------------------------------------------------------------------
+# cross-process propagation
+# ----------------------------------------------------------------------
+
+def remote_span_record(ctx: dict | None, name: str, wall_s: float,
+                       cpu_s: float, **attrs) -> dict:
+    """Build a span record on the *remote* side of a propagated context.
+
+    Used by fabric workers, whose own tracing is typically off: the
+    record is constructed unconditionally and shipped back over the
+    wire for the coordinator to :func:`record_remote`.
+    """
+    record = {
+        "name": name,
+        "trace": (ctx or {}).get("trace") or _next_id(),
+        "span": _next_id(),
+        "parent": (ctx or {}).get("span"),
+        "ts": time.time(),
+        "wall_s": round(float(wall_s), 9),
+        "cpu_s": round(float(cpu_s), 9),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def record_remote(record: dict) -> None:
+    """Insert a remotely produced span record into the local buffer /
+    trace log (coordinator side).  Ignored when tracing is off."""
+    if not _enabled or not isinstance(record, dict):
+        return
+    if "name" not in record or "wall_s" not in record:
+        return
+    _emit(record)

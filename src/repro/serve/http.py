@@ -13,6 +13,7 @@ POST   /ingest     ``{"src": [...], "dst": [...], "timestamps": [...],
                       "edge_feats": [[...]]?}``
 POST   /snapshot   ``{"path": "..."}`` — persist live state to disk
 GET    /stats      planner / cache / index / compactor / ingest counters
+GET    /metrics    the process metrics registry, Prometheus text format
 GET    /health     liveness probe
 ====== =========== ==================================================
 
@@ -33,6 +34,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from .. import obs as _obs
 from ..api.artifact import ArtifactError
 from .service import EmbeddingService, ServeError
 from .snapshot import SnapshotError
@@ -77,6 +79,9 @@ class LocalClient:
     def stats(self) -> dict:
         return self.service.stats()
 
+    def metrics(self) -> str:
+        return _obs.render_prometheus()
+
     def health(self) -> dict:
         return {"status": "ok"}
 
@@ -96,8 +101,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode()
+        self._send_body(body, "application/json", status)
+
+    def _send_body(self, body: bytes, content_type: str,
+                   status: int = 200) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -108,6 +117,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(self.client.health())
             elif self.path == "/stats":
                 self._reply(self.client.stats())
+            elif self.path == "/metrics":
+                self._send_body(self.client.metrics().encode(),
+                                "text/plain; version=0.0.4; charset=utf-8")
             else:
                 self._reply({"error": f"unknown path {self.path}"}, 404)
         except Exception as exc:  # pragma: no cover - defensive
@@ -181,7 +193,7 @@ def serve_forever(service: EmbeddingService, host: str, port: int,
         bound = server.server_address
         print(f"serving on http://{bound[0]}:{bound[1]} "
               f"(POST /embed /score /topk /ingest /snapshot, "
-              f"GET /stats /health)")
+              f"GET /stats /metrics /health)")
         server.serve_forever()
 
 
@@ -203,6 +215,11 @@ class HttpClient:
         with urllib.request.urlopen(f"{self.base_url}{path}",
                                     timeout=self.timeout) as resp:
             return json.loads(resp.read())
+
+    def metrics(self) -> str:
+        with urllib.request.urlopen(f"{self.base_url}/metrics",
+                                    timeout=self.timeout) as resp:
+            return resp.read().decode()
 
     def embed(self, nodes, ts) -> dict:
         return self._post("/embed", {"nodes": list(map(int, nodes)),
@@ -290,8 +307,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--restore-snapshot", metavar="FILE", default=None,
                         help="restore live state from an EmbeddingService "
                              "snapshot instead of replaying history")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="enable span tracing and append JSONL span "
+                             "records to FILE")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.trace:
+        _obs.configure(enabled=True, trace_path=args.trace)
 
     knobs = dict(
         cache_capacity=args.cache_capacity,

@@ -24,10 +24,10 @@ affected cache entries.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs as _obs
 from ..dgnn.encoder import DGNNEncoder, ZeroEdgeFeatures
 from ..graph.batching import EventBatch
 from ..graph.events import EventStream
@@ -40,34 +40,48 @@ __all__ = ["IngestError", "IngestStats", "LiveIngestor"]
 _MAX_BLOCK_SAMPLES = 4096
 
 
-@dataclass
 class IngestStats:
     """Counters the serve benchmarks and ``/stats`` endpoint report.
 
-    ``block_seconds`` keeps only the most recent ``_MAX_BLOCK_SAMPLES``
-    per-block timings (a rolling latency window, not an unbounded log),
-    so a long-lived replica ingesting forever cannot leak memory here.
+    Counter fields are registry-backed (``repro_serve_ingest_*``), so
+    ``GET /metrics`` exports them; each compares equal to its numeric
+    value.  ``block_seconds`` keeps only the most recent
+    ``_MAX_BLOCK_SAMPLES`` per-block timings (a rolling latency window,
+    not an unbounded log), so a long-lived replica ingesting forever
+    cannot leak memory here; the same timings also feed the
+    ``repro_serve_ingest_block_seconds`` histogram.
     """
 
-    blocks: int = 0
-    events: int = 0
-    seconds: float = 0.0
-    touched_rows: int = 0
-    block_seconds: list = field(default_factory=list, repr=False)
+    def __init__(self):
+        def _counter(name, help):
+            return _obs.counter(f"repro_serve_ingest_{name}", help=help,
+                                replace=True)
+        self.blocks = _counter("blocks_total", "ingested event blocks")
+        self.events = _counter("events_total", "ingested events")
+        self.seconds = _counter("seconds_total",
+                                "seconds spent ingesting")
+        self.touched_rows = _counter("touched_rows_total",
+                                     "memory rows touched by ingestion")
+        self.block_seconds: list = []
+        self._block_hist = _obs.histogram(
+            "repro_serve_ingest_block_seconds",
+            help="per-block ingest latency", replace=True)
 
     def record_block(self, seconds: float) -> None:
         self.block_seconds.append(seconds)
         if len(self.block_seconds) > _MAX_BLOCK_SAMPLES:
             del self.block_seconds[:-_MAX_BLOCK_SAMPLES]
+        self._block_hist.observe(seconds)
 
     @property
     def events_per_sec(self) -> float:
-        return self.events / self.seconds if self.seconds > 0 else 0.0
+        seconds = float(self.seconds)
+        return int(self.events) / seconds if seconds > 0 else 0.0
 
     def as_row(self) -> dict:
-        return {"blocks": self.blocks, "events": self.events,
+        return {"blocks": int(self.blocks), "events": int(self.events),
                 "events_per_sec": round(self.events_per_sec, 2),
-                "touched_rows": self.touched_rows}
+                "touched_rows": int(self.touched_rows)}
 
 
 class LiveIngestor:

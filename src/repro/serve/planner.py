@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs as _obs
+
 __all__ = ["EmbeddingLRU", "MicroBatchPlanner", "PlannerStats",
            "StalenessPolicy"]
 
@@ -157,34 +159,41 @@ class EmbeddingLRU:
         self._node_keys.clear()
 
 
-@dataclass
 class PlannerStats:
-    """Counters for ``/stats`` and the serve benchmark."""
+    """Counters for ``/stats`` and the serve benchmark.
 
-    requests: int = 0
-    queries: int = 0          # individual (node, ts) rows requested
-    batches: int = 0          # batched encoder passes executed
-    coalesced: int = 0        # requests that shared a pass with others
-    deduped: int = 0          # rows answered by another row in the same pass
-    cache_hits: int = 0
-    cache_misses: int = 0
-    stale_hits: int = 0       # hits served despite touches (within bound)
-    stale_evictions: int = 0  # hits evicted for exceeding the bound
+    Backed by the :mod:`repro.obs` registry
+    (``repro_serve_planner_*_total``), so ``GET /metrics`` exports the
+    same numbers.  Counters compare equal to their int values.
+    """
+
+    # requests           — planner entry calls
+    # queries            — individual (node, ts) rows requested
+    # batches            — batched encoder passes executed
+    # coalesced          — requests that shared a pass with others
+    # deduped            — rows answered by another row in the same pass
+    # stale_hits         — hits served despite touches (within bound)
+    # stale_evictions    — hits evicted for exceeding the bound
+    _FIELDS = ("requests", "queries", "batches", "coalesced", "deduped",
+               "cache_hits", "cache_misses", "stale_hits",
+               "stale_evictions")
+
+    def __init__(self):
+        for name in self._FIELDS:
+            setattr(self, name,
+                    _obs.counter(f"repro_serve_planner_{name}_total",
+                                 help=f"micro-batch planner {name} count",
+                                 replace=True))
 
     @property
     def cache_hit_rate(self) -> float:
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        total = int(self.cache_hits) + int(self.cache_misses)
+        return int(self.cache_hits) / total if total else 0.0
 
     def as_row(self) -> dict:
-        return {"requests": self.requests, "queries": self.queries,
-                "batches": self.batches, "coalesced": self.coalesced,
-                "deduped": self.deduped,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "cache_hit_rate": round(self.cache_hit_rate, 4),
-                "stale_hits": self.stale_hits,
-                "stale_evictions": self.stale_evictions}
+        row = {name: int(getattr(self, name)) for name in self._FIELDS}
+        row["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        return row
 
 
 class _Pending:

@@ -50,10 +50,12 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs as _obs
 from ..api.artifact import PretrainArtifact, stream_fingerprint
 from ..api.data import resolve_data
 from ..core.eie import EIEModule
@@ -254,6 +256,15 @@ class EmbeddingService:
         if self.config.background_compaction:
             self._compactor = BackgroundCompactor(self.finder,
                                                   self._lock).attach()
+        # Per-endpoint request latency histograms
+        # (repro_serve_request_seconds{endpoint=}), always on; the
+        # latest service instance wins the registry slot.
+        self._request_hist = {
+            endpoint: _obs.histogram(
+                "repro_serve_request_seconds",
+                labels={"endpoint": endpoint},
+                help="serve request latency by endpoint", replace=True)
+            for endpoint in ("embed", "score_links", "top_k", "ingest")}
 
     def _restore_live_state(self, snapshot) -> np.ndarray | None:
         """Rebuild finder / memory / staged messages from snapshot arrays.
@@ -430,8 +441,13 @@ class EmbeddingService:
         ``ts`` may be a scalar (applied to every node) or a per-node
         array.  Concurrent callers coalesce into one encoder pass.
         """
-        nodes, ts = self._query_arrays(nodes, ts)
-        return self.planner.embed(nodes, ts)
+        start = time.perf_counter()
+        try:
+            nodes, ts = self._query_arrays(nodes, ts)
+            with _obs.span("serve.embed", rows=len(nodes)):
+                return self.planner.embed(nodes, ts)
+        finally:
+            self._request_hist["embed"].observe(time.perf_counter() - start)
 
     def _enhanced(self, rows: np.ndarray, nodes: np.ndarray) -> Tensor:
         """Apply the EIE side-vector when the fine-tuned head expects it."""
@@ -447,19 +463,25 @@ class EmbeddingService:
         the same score fine-tuned evaluation ranks with; otherwise the
         embedding dot product.
         """
-        src, ts = self._query_arrays(src, ts)
-        if len(np.atleast_1d(np.asarray(dst))) != len(src):
-            raise ServeError("src and dst must have equal length")
-        dst, _ = self._query_arrays(dst, ts)
-        rows = self.planner.embed(np.concatenate([src, dst]),
-                                  np.concatenate([ts, ts]))
-        z_src, z_dst = rows[:len(src)], rows[len(src):]
-        if self._head is None:
-            return np.sum(z_src * z_dst, axis=1)
-        with default_dtype(self._dtype), no_grad(), self._lock:
-            scores = self._head.score(self._enhanced(z_src, src),
-                                      self._enhanced(z_dst, dst))
-        return np.asarray(scores.data, dtype=np.float64)
+        start = time.perf_counter()
+        try:
+            src, ts = self._query_arrays(src, ts)
+            if len(np.atleast_1d(np.asarray(dst))) != len(src):
+                raise ServeError("src and dst must have equal length")
+            dst, _ = self._query_arrays(dst, ts)
+            with _obs.span("serve.score_links", pairs=len(src)):
+                rows = self.planner.embed(np.concatenate([src, dst]),
+                                          np.concatenate([ts, ts]))
+                z_src, z_dst = rows[:len(src)], rows[len(src):]
+                if self._head is None:
+                    return np.sum(z_src * z_dst, axis=1)
+                with default_dtype(self._dtype), no_grad(), self._lock:
+                    scores = self._head.score(self._enhanced(z_src, src),
+                                              self._enhanced(z_dst, dst))
+                return np.asarray(scores.data, dtype=np.float64)
+        finally:
+            self._request_hist["score_links"].observe(
+                time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # top-k retrieval (exact scan or IVF shortlist + exact rescore)
@@ -478,25 +500,32 @@ class EmbeddingService:
         ``k == 0``; fewer than ``k`` rows when the candidate set is
         smaller than ``k``.
         """
-        if k < 0:
-            raise ServeError("k must be >= 0")
-        explicit = candidates is not None
-        if candidates is None:
-            candidates = self._candidates
-        candidates = np.asarray(candidates, dtype=np.int64)
-        if k == 0 or len(candidates) == 0:
-            return (np.empty(0, dtype=np.int64),
-                    np.empty(0, dtype=np.float64))
-        use_index = (self.config.index if exact is None else not exact)
-        if use_index and not explicit and k < len(candidates):
-            shortlist = self._indexed_shortlist(int(src), float(t), int(k))
-            # A probe that surfaced fewer than k ids cannot answer the
-            # query — fall back to the exact full scan.
-            if len(shortlist) >= k:
-                candidates = shortlist
-        scores = self.score_links(np.full(len(candidates), int(src)),
-                                  candidates, float(t))
-        return top_k_from_scores(candidates, scores, k)
+        start = time.perf_counter()
+        try:
+            if k < 0:
+                raise ServeError("k must be >= 0")
+            explicit = candidates is not None
+            if candidates is None:
+                candidates = self._candidates
+            candidates = np.asarray(candidates, dtype=np.int64)
+            if k == 0 or len(candidates) == 0:
+                return (np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.float64))
+            with _obs.span("serve.top_k", k=int(k)):
+                use_index = (self.config.index if exact is None
+                             else not exact)
+                if use_index and not explicit and k < len(candidates):
+                    shortlist = self._indexed_shortlist(int(src), float(t),
+                                                        int(k))
+                    # A probe that surfaced fewer than k ids cannot answer
+                    # the query — fall back to the exact full scan.
+                    if len(shortlist) >= k:
+                        candidates = shortlist
+                scores = self.score_links(np.full(len(candidates), int(src)),
+                                          candidates, float(t))
+                return top_k_from_scores(candidates, scores, k)
+        finally:
+            self._request_hist["top_k"].observe(time.perf_counter() - start)
 
     def _embed_catalog(self, nodes: np.ndarray, t: float) -> np.ndarray:
         """Embed catalog rows at ``t`` through the planner (cache-warm)."""
@@ -556,9 +585,11 @@ class EmbeddingService:
         whose state changed (exact policy) or advances their staleness
         clocks (bounded policy).  Returns the number of events ingested.
         """
+        start = time.perf_counter()
         # The configured dtype must wrap the flush math so serve-time
         # ingestion stays bit-identical to an offline replay.
-        with self._lock, default_dtype(self._dtype):
+        with _obs.span("serve.ingest"), self._lock, \
+                default_dtype(self._dtype):
             if events is not None:
                 touched = self._ingestor.ingest_stream(events,
                                                        block_size=block_size)
@@ -579,6 +610,7 @@ class EmbeddingService:
                 if self._index is not None:
                     self._index_dirty = np.union1d(self._index_dirty,
                                                    touched)
+        self._request_hist["ingest"].observe(time.perf_counter() - start)
         return count
 
     # ------------------------------------------------------------------

@@ -236,16 +236,30 @@ def _worker_main(spec: ProducerSpec, task_queue, result_queue,
     or deadlocked in native code) from a merely slow one: production
     blocks the main thread, but the heartbeat thread keeps beating
     unless the whole process is frozen.
+
+    Heartbeats and errors carry the worker's position — the seq in
+    production and a coarse stage name — so a crash or hang is
+    attributable from the consumer-side :class:`StreamError` alone.
     """
     name = mp.current_process().name
     stop = threading.Event()
+    # Shared with the heartbeat thread; plain dict mutation is atomic
+    # enough for an advisory progress marker.
+    current = {"seq": None, "stage": "init"}
 
     def _beat() -> None:
         while not stop.wait(heartbeat_interval):
             try:
-                result_queue.put((_HEARTBEAT, name))
+                result_queue.put((_HEARTBEAT,
+                                  (name, current["seq"], current["stage"])))
             except Exception:
                 return
+
+    def _fail() -> None:
+        result_queue.put((_ERROR, {"worker": name,
+                                   "seq": current["seq"],
+                                   "stage": current["stage"],
+                                   "traceback": traceback.format_exc()}))
 
     threading.Thread(target=_beat, daemon=True,
                      name=f"{name}-heartbeat").start()
@@ -253,18 +267,22 @@ def _worker_main(spec: ProducerSpec, task_queue, result_queue,
         try:
             ctx = SamplingContext(spec)
         except BaseException:
-            result_queue.put((_ERROR, traceback.format_exc()))
+            _fail()
             return
+        current["stage"] = "idle"
         while True:
             item = task_queue.get()
             if item is None:
                 return
+            current["seq"] = item.seq
+            current["stage"] = "produce"
             try:
                 result_queue.put((item.seq,
                                   produce_batch(ctx, item).materialize()))
             except BaseException:
-                result_queue.put((_ERROR, traceback.format_exc()))
+                _fail()
                 return
+            current["stage"] = "idle"
     finally:
         stop.set()
 
@@ -346,6 +364,9 @@ class MultiprocessProducer(BatchProducer):
                 worker.start()
             start = time.monotonic()
             self._last_alive = {w.name: start for w in self._workers}
+            # Last (seq, stage) reported by each worker's heartbeat —
+            # crash/hang attribution for the StreamError messages.
+            self._worker_status: dict[str, tuple] = {}
         except BaseException:
             self.close()
             raise
@@ -367,6 +388,12 @@ class MultiprocessProducer(BatchProducer):
             seq, payload = self._receive()
             if seq == _ERROR:
                 self.close()
+                if isinstance(payload, dict):
+                    raise StreamError(
+                        f"batch producer worker failed: "
+                        f"{payload.get('worker')} (seq={payload.get('seq')}, "
+                        f"stage={payload.get('stage')}):\n"
+                        f"{payload.get('traceback')}")
                 raise StreamError(f"batch producer worker failed:\n{payload}")
             holdback[seq] = payload
             # A result parked out of order still counts as in flight, so
@@ -389,8 +416,9 @@ class MultiprocessProducer(BatchProducer):
                 # fail fast instead of waiting out the full timeout.
                 dead = [w for w in self._workers if not w.is_alive()]
                 if dead:
-                    names = ", ".join(f"{w.name} (exit code {w.exitcode})"
-                                      for w in dead)
+                    names = ", ".join(
+                        f"{w.name} (exit code {w.exitcode}"
+                        f"{self._status_hint(w.name)})" for w in dead)
                     self.close()
                     raise StreamError(
                         f"batch producer worker(s) died: {names}")
@@ -403,9 +431,11 @@ class MultiprocessProducer(BatchProducer):
                         if now - seen > self._hang_timeout]
                 if hung:
                     self.close(force=True)
+                    detail = ", ".join(
+                        f"{name}{self._status_hint(name)}" for name in hung)
                     raise StreamError(
                         "batch producer worker(s) hung (no heartbeat for "
-                        f"{self._hang_timeout:.0f}s): {', '.join(hung)}")
+                        f"{self._hang_timeout:.0f}s): {detail}")
                 if now >= deadline:
                     self.close()
                     raise StreamError(
@@ -413,9 +443,21 @@ class MultiprocessProducer(BatchProducer):
                         f"{self._timeout:.0f}s")
                 continue
             if seq == _HEARTBEAT:
-                self._last_alive[payload] = time.monotonic()
+                if isinstance(payload, tuple):
+                    name, worker_seq, stage = payload
+                    self._worker_status[name] = (worker_seq, stage)
+                else:  # bare-name heartbeat (pre-attribution form)
+                    name = payload
+                self._last_alive[name] = time.monotonic()
                 continue
             return seq, payload
+
+    def _status_hint(self, name: str) -> str:
+        status = self._worker_status.get(name)
+        if status is None:
+            return ""
+        worker_seq, stage = status
+        return f", last seq={worker_seq}, stage={stage}"
 
     # ------------------------------------------------------------------
     def close(self, force: bool = False) -> None:
